@@ -1,0 +1,69 @@
+// Command calib is a development aid: it dumps the full speedup/metric
+// matrix for one system so the workload models can be calibrated against
+// the paper's reported shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/mem"
+)
+
+func main() {
+	sysName := flag.String("sys", "p7", "system: p7, p7x2, i7")
+	flag.Parse()
+
+	var sys experiments.System
+	var benches []string
+	var levels []int
+	switch *sysName {
+	case "p7":
+		sys, benches, levels = experiments.P7OneChip, experiments.P7Benchmarks, []int{1, 2, 4}
+	case "p7x2":
+		sys, benches, levels = experiments.P7TwoChip, experiments.P7Benchmarks, []int{1, 2, 4}
+	case "i7":
+		sys, benches, levels = experiments.I7OneChip, experiments.I7Benchmarks, []int{1, 2}
+	default:
+		fmt.Fprintln(os.Stderr, "unknown system")
+		os.Exit(2)
+	}
+
+	m := experiments.NewMatrix(sys, experiments.DefaultSeed)
+	fmt.Printf("%-22s %6s %6s %6s | %7s %7s %7s | %6s %6s %6s | %6s %5s %6s %5s\n",
+		"bench", "s4/1", "s4/2", "s2/1", "met@4", "met@2", "met@1",
+		"dh@4", "mix@4", "scal@4", "L1mpki", "cpi", "brmpki", "%vsu")
+	for _, b := range benches {
+		t0 := time.Now()
+		var s41, s42, s21 float64
+		var met [5]float64
+		hi := levels[len(levels)-1]
+		if len(levels) == 3 {
+			s41 = m.Speedup(b, 4, 1)
+			s42 = m.Speedup(b, 4, 2)
+			s21 = m.Speedup(b, 2, 1)
+			met[4] = m.Cell(b, 4).Metric.Value
+			met[2] = m.Cell(b, 2).Metric.Value
+			met[1] = m.Cell(b, 1).Metric.Value
+		} else {
+			s21 = m.Speedup(b, 2, 1)
+			met[2] = m.Cell(b, 2).Metric.Value
+			met[1] = m.Cell(b, 1).Metric.Value
+		}
+		c := m.Cell(b, hi)
+		if c.Err != nil {
+			fmt.Printf("%-22s ERROR: %v\n", b, c.Err)
+			continue
+		}
+		c1 := m.Cell(b, 1)
+		fmt.Printf("%-22s %6.2f %6.2f %6.2f | %7.4f %7.4f %7.4f | %6.3f %6.3f %6.2f | %6.1f %5.2f %6.2f %5.1f  (%.0fs)\n",
+			b, s41, s42, s21, met[4], met[2], met[1],
+			c.Metric.DispHeld, c.Metric.MixDeviation, c.Metric.Scalability,
+			c1.Snap.MissesPerKilo(mem.LevelL1), c1.Snap.CPI(), c1.Snap.BranchMPKI(),
+			100*c1.Snap.ClassFraction(5, 6),
+			time.Since(t0).Seconds())
+	}
+}

@@ -1,0 +1,334 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure, rendered as terminal tables and ASCII scatter plots.
+//
+// Usage:
+//
+//	experiments -fig 6         # one figure
+//	experiments -table 1       # Table I
+//	experiments -all           # everything
+//	experiments -fig 6 -seed 7 # different workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/threshold"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		fig         = flag.String("fig", "", "figure to regenerate (1, 2, 6..17)")
+		table       = flag.Int("table", 0, "table to regenerate (1)")
+		all         = flag.Bool("all", false, "regenerate every table and figure")
+		ablation    = flag.Bool("ablation", false, "run the metric-ablation and baseline-predictor study")
+		portability = flag.Bool("portability", false, "validate the metric on the GenericSMT8 model")
+		sensitivity = flag.Bool("sensitivity", false, "run the machine-parameter sensitivity study")
+		seed        = flag.Uint64("seed", experiments.DefaultSeed, "workload seed")
+		quiet       = flag.Bool("quiet", false, "skip ASCII plots, print only summaries")
+		svgDir      = flag.String("svgdir", "", "also write each figure as an SVG file into this directory")
+	)
+	flag.Parse()
+
+	runner := &runner{seed: *seed, quiet: *quiet, svgDir: *svgDir}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	switch {
+	case *all:
+		runner.table1()
+		for _, f := range []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "17"} {
+			runner.figure(f)
+		}
+		runner.ablation()
+		runner.portability()
+	case *ablation:
+		runner.ablation()
+	case *portability:
+		runner.portability()
+	case *sensitivity:
+		runner.sensitivity()
+	case *table == 1:
+		runner.table1()
+	case *fig != "":
+		runner.figure(*fig)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+type runner struct {
+	seed     uint64
+	quiet    bool
+	svgDir   string
+	matrices map[string]*experiments.Matrix
+}
+
+// writeSVG saves an SVG document for a figure when -svgdir is set.
+func (r *runner) writeSVG(name, doc string) {
+	if r.svgDir == "" {
+		return
+	}
+	path := filepath.Join(r.svgDir, name+".svg")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("(wrote %s)\n", path)
+}
+
+// matrix returns the (cached) run matrix for a system.
+func (r *runner) matrix(sys experiments.System) *experiments.Matrix {
+	if r.matrices == nil {
+		r.matrices = map[string]*experiments.Matrix{}
+	}
+	if m, ok := r.matrices[sys.Name]; ok {
+		return m
+	}
+	m := experiments.NewMatrix(sys, r.seed)
+	r.matrices[sys.Name] = m
+	return m
+}
+
+func (r *runner) table1() {
+	fmt.Println("== Table I: Benchmarks Evaluated ==")
+	t := report.NewTable("Label", "Suite", "Problem Size", "Description")
+	for _, s := range workload.All() {
+		t.AddRow(s.Name, s.Suite, s.Problem, s.Desc)
+	}
+	fmt.Println(t)
+}
+
+func (r *runner) figure(fig string) {
+	t0 := time.Now()
+	switch fig {
+	case "1":
+		m := r.matrix(experiments.P7OneChip)
+		res := experiments.Fig1(m)
+		fmt.Println("== Fig. 1: SMT1 vs SMT4 performance, 8-core POWER7 ==")
+		fmt.Println("(bars are SMT4 performance normalised to SMT1; 1.0 = no change)")
+		fmt.Print(report.Bars("SMT4 performance / SMT1 performance", res.Benches, res.Normalized, "x"))
+		r.writeSVG("fig1", report.BarsSVG("Fig. 1: SMT4 performance normalised to SMT1 (POWER7)",
+			res.Benches, res.Normalized, "x"))
+	case "2":
+		m := r.matrix(experiments.P7OneChip)
+		res := experiments.Fig2(m)
+		fmt.Println("== Fig. 2: SMT4/SMT1 speedup vs naive single-number statistics (POWER7) ==")
+		t := report.NewTable("bench", "L1 MPKI", "CPI", "BrMPKI", "%VSU", "SMT4/SMT1")
+		for _, row := range res.Rows {
+			t.AddRowf(row.Bench, row.L1MPKI, row.CPI, row.BrMPKI, row.VSUShare, row.Speedup)
+		}
+		fmt.Println(t)
+		fmt.Printf("Pearson r against speedup:  L1 MPKI %.3f   CPI %.3f   BrMPKI %.3f   %%VSU %.3f\n",
+			res.Correlations[0], res.Correlations[1], res.Correlations[2], res.Correlations[3])
+		fmt.Println("(the paper's point: none of these correlates strongly with SMT benefit)")
+		if !r.quiet {
+			for i, name := range []string{"L1 MPKI", "CPI", "Branch MPKI", "% VSU instructions"} {
+				sc := report.Scatter{
+					Title:  fmt.Sprintf("Fig. 2 panel: speedup vs %s", name),
+					XLabel: name, YLabel: "SMT4/SMT1 speedup", BreakEvenY: 1,
+					Width: 64, Height: 16,
+				}
+				for _, row := range res.Rows {
+					x := [4]float64{row.L1MPKI, row.CPI, row.BrMPKI, row.VSUShare}[i]
+					sc.Points = append(sc.Points, report.ScatterPoint{X: x, Y: row.Speedup, Label: row.Bench})
+				}
+				fmt.Println(sc.String())
+			}
+		}
+	case "7":
+		m := r.matrix(experiments.P7OneChip)
+		rows := experiments.Fig7(m)
+		fmt.Println("== Fig. 7: instruction mix of 5 benchmarks (POWER7, measured @SMT4) ==")
+		t := report.NewTable("bench", "%loads", "%stores", "%branches", "%FXU", "%VSU", "SMT4/SMT1")
+		for _, row := range rows {
+			sp := ""
+			if row.Speedup > 0 {
+				sp = fmt.Sprintf("%.2f", row.Speedup)
+			}
+			t.AddRow(row.Bench,
+				fmt.Sprintf("%.1f", row.Loads), fmt.Sprintf("%.1f", row.Stores),
+				fmt.Sprintf("%.1f", row.Branches), fmt.Sprintf("%.1f", row.FXU),
+				fmt.Sprintf("%.1f", row.VSU), sp)
+		}
+		fmt.Println(t)
+	case "16":
+		m := r.matrix(experiments.P7OneChip)
+		res, err := experiments.Fig16(m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("== Fig. 16: Gini impurity vs candidate separator (POWER7, SMT4/SMT1) ==")
+		fmt.Printf("optimal separator range [%.4f, %.4f], min impurity %.3f\n",
+			res.Lo, res.Hi, res.MinImpurity)
+		r.curve("impurity", res.Curve)
+		r.writeSVG("fig16", curveSVG("Fig. 16: Gini impurity vs separator", "separator", "impurity", res.Curve))
+	case "17":
+		m := r.matrix(experiments.P7OneChip)
+		res, err := experiments.Fig17(m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("== Fig. 17: average % performance improvement vs threshold (POWER7, SMT4/SMT1) ==")
+		fmt.Printf("best threshold %.4f with average improvement %.1f%%\n", res.Best, res.BestPPI)
+		r.curve("avg PPI (%)", res.Curve)
+		r.writeSVG("fig17", curveSVG("Fig. 17: average %PPI vs threshold", "threshold", "avg PPI (%)", res.Curve))
+	default:
+		r.scatterFigure(fig)
+	}
+	fmt.Printf("[fig %s done in %.1fs]\n\n", fig, time.Since(t0).Seconds())
+}
+
+// scatterFigure renders one of the metric-vs-speedup figures.
+func (r *runner) scatterFigure(fig string) {
+	_, _, sys, err := experiments.CellsFor(fig)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	m := r.matrix(sys)
+	var res experiments.FigResult
+	switch fig {
+	case "6":
+		res = experiments.Fig6(m)
+	case "8":
+		res = experiments.Fig8(m)
+	case "9":
+		res = experiments.Fig9(m)
+	case "10":
+		res = experiments.Fig10(m)
+	case "11":
+		res = experiments.Fig11(m)
+	case "12":
+		res = experiments.Fig12(m)
+	case "13":
+		res = experiments.Fig13(m)
+	case "14":
+		res = experiments.Fig14(m)
+	case "15":
+		res = experiments.Fig15(m)
+	}
+	fmt.Printf("== Fig. %s: %s ==\n", fig, res.Title)
+	t := report.NewTable("bench", "metric", "speedup", "classified")
+	pts := make([]threshold.Point, 0, len(res.Points))
+	for _, p := range res.Points {
+		ok := "ok"
+		if (p.Metric < res.Threshold) != (p.Speedup >= 1) {
+			ok = "MISPREDICTED"
+		}
+		t.AddRow(p.Bench, fmt.Sprintf("%.4f", p.Metric), fmt.Sprintf("%.2f", p.Speedup), ok)
+		pts = append(pts, threshold.Point{Metric: p.Metric, Speedup: p.Speedup, Label: p.Bench})
+	}
+	fmt.Println(t)
+	fmt.Printf("threshold %.4f: success rate %.0f%% (gini range [%.4f, %.4f], impurity %.3f; spearman %.2f)",
+		res.Threshold, 100*res.Accuracy, res.GiniLo, res.GiniHi, res.MinImpurity, res.Spearman)
+	if len(res.Misclassified) > 0 {
+		fmt.Printf("; mispredicted: %v", res.Misclassified)
+	}
+	fmt.Println()
+	if res.AmbiguousLo <= res.AmbiguousHi {
+		fmt.Printf("ambiguous band: no single threshold classifies metrics in [%.4f, %.4f]\n",
+			res.AmbiguousLo, res.AmbiguousHi)
+	}
+	sc := report.Scatter{
+		Title:  fmt.Sprintf("Fig. %s: %s", fig, res.Title),
+		XLabel: fmt.Sprintf("SMT-selection metric @SMT%d", res.MetricAt),
+		YLabel: fmt.Sprintf("SMT%d/SMT%d speedup", res.SpeedupHi, res.SpeedupLo),
+		Width:  64, Height: 20,
+		Threshold: res.Threshold, BreakEvenY: 1,
+	}
+	for _, p := range res.Points {
+		sc.Points = append(sc.Points, report.ScatterPoint{X: p.Metric, Y: p.Speedup, Label: p.Bench})
+	}
+	if !r.quiet {
+		fmt.Println(sc.String())
+	}
+	r.writeSVG("fig"+fig, sc.SVG())
+	_ = pts
+}
+
+// ablation runs the metric-ablation and baseline-predictor study on the
+// single-chip POWER7 set.
+func (r *runner) ablation() {
+	m := r.matrix(experiments.P7OneChip)
+	res := experiments.AblationStudy(m, experiments.P7Benchmarks, 4, 1)
+	fmt.Println("== Ablation & baseline study: SMT4-vs-SMT1 preference prediction (POWER7) ==")
+	fmt.Println("(each predictor gets its best threshold and orientation)")
+	t := report.NewTable("predictor", "kind", "accuracy", "mispredicted")
+	for _, p := range res {
+		t.AddRow(p.Name, p.Kind, fmt.Sprintf("%.0f%%", 100*p.Accuracy),
+			fmt.Sprintf("%v", p.Misclassified))
+	}
+	fmt.Println(t)
+}
+
+// portability validates the metric on the GenericSMT8 architecture.
+func (r *runner) portability() {
+	m := r.matrix(experiments.SMT8OneChip)
+	res := experiments.Portability(m)
+	for _, fr := range []experiments.FigResult{res.Smt8VsSmt1, res.Smt8VsSmt4} {
+		fmt.Printf("== Portability: %s ==\n", fr.Title)
+		t := report.NewTable("bench", "metric", "speedup", "classified")
+		for _, p := range fr.Points {
+			ok := "ok"
+			if (p.Metric < fr.Threshold) != (p.Speedup >= 1) {
+				ok = "MISPREDICTED"
+			}
+			t.AddRow(p.Bench, fmt.Sprintf("%.4f", p.Metric), fmt.Sprintf("%.2f", p.Speedup), ok)
+		}
+		fmt.Println(t)
+		fmt.Printf("gini threshold %.4f: success rate %.0f%%; mispredicted: %v\n\n",
+			fr.Threshold, 100*fr.Accuracy, fr.Misclassified)
+	}
+}
+
+// sensitivity reports the metric's robustness to machine parameters.
+func (r *runner) sensitivity() {
+	fmt.Println("== Sensitivity: Fig. 6 methodology under machine-parameter variants ==")
+	fmt.Printf("(%d benchmarks per variant)\n", len(experiments.SensitivityBenchmarks))
+	t := report.NewTable("variant", "threshold", "accuracy", "spearman", "separable")
+	for _, row := range experiments.Sensitivity(r.seed) {
+		t.AddRow(row.Variant, fmt.Sprintf("%.4f", row.Threshold),
+			fmt.Sprintf("%.0f%%", 100*row.Accuracy),
+			fmt.Sprintf("%.2f", row.Spearman),
+			fmt.Sprintf("%v", row.Separable))
+	}
+	fmt.Println(t)
+}
+
+// curveSVG converts a threshold curve into an SVG document.
+func curveSVG(title, xlabel, ylabel string, pts []threshold.CurvePoint) string {
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.Separator, p.Value
+	}
+	return report.CurveSVG(title, xlabel, ylabel, xs, ys)
+}
+
+// curve renders a threshold curve as a scatter.
+func (r *runner) curve(ylabel string, pts []threshold.CurvePoint) {
+	if r.quiet {
+		return
+	}
+	sc := report.Scatter{
+		XLabel: "candidate threshold", YLabel: ylabel,
+		Width: 64, Height: 16,
+	}
+	for _, p := range pts {
+		sc.Points = append(sc.Points, report.ScatterPoint{X: p.Separator, Y: p.Value})
+	}
+	fmt.Println(sc.String())
+}

@@ -1,0 +1,111 @@
+// Command smtsim runs a single workload on the simulated machine at one SMT
+// level and prints the performance counters and the SMT-selection metric —
+// the simulator equivalent of running a benchmark under a PMU profiler.
+//
+// Usage:
+//
+//	smtsim -bench EP -arch power7 -chips 1 -smt 4
+//	smtsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/smtsm"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "EP", "benchmark name (see -list)")
+		specFile  = flag.String("spec", "", "load a custom workload spec from a JSON file instead of -bench")
+		archName  = flag.String("arch", "power7", "architecture: power7, nehalem or smt8")
+		chips     = flag.Int("chips", 1, "number of chips")
+		smt       = flag.Int("smt", 0, "SMT level (0 = architecture maximum)")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		maxCycles = flag.Int64("maxcycles", 200_000_000, "simulation cycle limit")
+		list      = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.All() {
+			fmt.Printf("%-22s %-12s %-28s %s\n", s.Name, s.Suite, s.Problem, s.Desc)
+		}
+		return
+	}
+
+	var d *arch.Desc
+	switch strings.ToLower(*archName) {
+	case "power7", "p7":
+		d = arch.POWER7()
+	case "nehalem", "i7", "corei7":
+		d = arch.Nehalem()
+	case "smt8":
+		d = arch.GenericSMT8()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown architecture %q (want power7, nehalem or smt8)\n", *archName)
+		os.Exit(2)
+	}
+
+	var spec *workload.Spec
+	var err error
+	if *specFile != "" {
+		spec, err = workload.LoadSpecFile(*specFile)
+	} else {
+		spec, err = workload.Get(*benchName)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	m, machineErr := cpu.NewMachine(d, *chips)
+	if machineErr != nil {
+		fmt.Fprintln(os.Stderr, machineErr)
+		os.Exit(1)
+	}
+	level := *smt
+	if level == 0 {
+		level = d.MaxSMT
+	}
+	if err := m.SetSMTLevel(level); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	threads := m.HardwareThreads()
+	inst, err := workload.Instantiate(spec, threads, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s (%d chip(s), %d cores) @ SMT%d with %d software threads\n",
+		spec.Name, d.Name, m.NumChips(), m.NumCores(), level, threads)
+
+	t0 := time.Now()
+	wall, err := m.Run(inst.Sources(), *maxCycles)
+	hostDur := time.Since(t0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run: %v (after %d cycles)\n", err, wall)
+		os.Exit(1)
+	}
+
+	snap := m.Counters()
+	fmt.Printf("\nwall: %d cycles  (host %.2fs, %.2f Mcycles/s, %.2f Minstr/s)\n",
+		wall, hostDur.Seconds(),
+		float64(wall)/1e6/hostDur.Seconds(),
+		float64(snap.Retired)/1e6/hostDur.Seconds())
+	fmt.Printf("useful instructions: %d, spin instructions: %d\n\n",
+		inst.UsefulInstrs(), inst.SpinInstrs())
+	fmt.Print(snap.String())
+	fmt.Println()
+	fmt.Print(smtsm.Compute(d, &snap).String())
+}

@@ -1,0 +1,87 @@
+package smtselect_test
+
+import (
+	"fmt"
+
+	smtselect "repro"
+)
+
+// The package-level example: measure a workload's SMT-selection metric and
+// apply the paper's decision rule.
+func Example() {
+	m, err := smtselect.NewPOWER7Machine(1)
+	if err != nil {
+		panic(err)
+	}
+	spec, err := smtselect.Workload("EP")
+	if err != nil {
+		panic(err)
+	}
+	res, err := smtselect.RunWorkload(m, spec, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("prefer lower SMT:", smtselect.PredictLowerSMT(res.Metric, 0.21))
+	// Output:
+	// prefer lower SMT: false
+}
+
+// ExampleBestSMTLevel shows the brute-force oracle the metric approximates.
+func ExampleBestSMTLevel() {
+	spec, err := smtselect.Workload("SPECjbb_contention")
+	if err != nil {
+		panic(err)
+	}
+	best, _, err := smtselect.BestSMTLevel(smtselect.POWER7(), 1, spec, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("SMT%d\n", best)
+	// Output:
+	// SMT1
+}
+
+// ExampleMachine_SetSMTLevel demonstrates smtctl-style level switching.
+func ExampleMachine_SetSMTLevel() {
+	m, err := smtselect.NewPOWER7Machine(1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("default:", m.SMTLevel(), "threads:", m.HardwareThreads())
+	if err := m.SetSMTLevel(1); err != nil {
+		panic(err)
+	}
+	fmt.Println("after smtctl -t 1:", m.SMTLevel(), "threads:", m.HardwareThreads())
+	// Output:
+	// default: 4 threads: 32
+	// after smtctl -t 1: 1 threads: 8
+}
+
+// ExampleWorkloadNames lists a few of the built-in Table-I models.
+func ExampleWorkloadNames() {
+	names := smtselect.WorkloadNames()
+	fmt.Println(names[0], names[len(names)-1], len(names))
+	// Output:
+	// EP Daytrader 44
+}
+
+// ExampleComputeMetric evaluates the metric on a counter snapshot directly,
+// the way an OS or user-level scheduler would consume PMU data.
+func ExampleComputeMetric() {
+	m, err := smtselect.NewNehalemMachine()
+	if err != nil {
+		panic(err)
+	}
+	spec, err := smtselect.Workload("Swaptions")
+	if err != nil {
+		panic(err)
+	}
+	res, err := smtselect.RunWorkload(m, spec, 42)
+	if err != nil {
+		panic(err)
+	}
+	again := smtselect.ComputeMetric(m.Arch(), &res.Counters)
+	fmt.Println(again.Value == res.Metric.Value)
+	// Output:
+	// true
+}

@@ -1,0 +1,62 @@
+// Quickstart: run one benchmark on the simulated POWER7 at two SMT levels,
+// read the hardware counters, compute the SMT-selection metric, and check
+// the metric's prediction against the measured outcome.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	smtselect "repro"
+)
+
+func main() {
+	// An 8-core POWER7 chip; machines start at the deepest SMT level.
+	m, err := smtselect.NewPOWER7Machine(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// EP from the NAS suite: scalable, diverse instruction mix — the
+	// paper's canonical SMT winner.
+	spec, err := smtselect.Workload("EP")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run at SMT4 (32 software threads) and read the metric.
+	if err := m.SetSMTLevel(4); err != nil {
+		log.Fatal(err)
+	}
+	at4, err := smtselect.RunWorkload(m, spec, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s @ SMT4: %d cycles, IPC %.2f\n", spec.Name, at4.WallCycles, at4.Counters.IPC())
+	fmt.Printf("SMT-selection metric: %.4f\n", at4.Metric.Value)
+	fmt.Printf("  mix deviation %.4f × dispatch-held %.4f × scalability %.3f\n",
+		at4.Metric.MixDeviation, at4.Metric.DispHeld, at4.Metric.Scalability)
+
+	// The decision rule: metric above the calibrated threshold means a
+	// lower SMT level is predicted to win. 0.21 is the threshold the
+	// repository's Fig. 6 calibration produces for this machine.
+	const threshold = 0.21
+	predictLower := smtselect.PredictLowerSMT(at4.Metric, threshold)
+	fmt.Printf("metric predicts a lower SMT level: %v\n\n", predictLower)
+
+	// Verify against ground truth: run the same work at SMT1.
+	if err := m.SetSMTLevel(1); err != nil {
+		log.Fatal(err)
+	}
+	at1, err := smtselect.RunWorkload(m, spec, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	speedup := float64(at1.WallCycles) / float64(at4.WallCycles)
+	fmt.Printf("%s @ SMT1: %d cycles → SMT4/SMT1 speedup %.2fx\n", spec.Name, at1.WallCycles, speedup)
+	if (speedup < 1) == predictLower {
+		fmt.Println("prediction was CORRECT")
+	} else {
+		fmt.Println("prediction was WRONG")
+	}
+}

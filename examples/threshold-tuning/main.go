@@ -1,0 +1,74 @@
+// Threshold-tuning example: port the SMT-selection metric to a "new"
+// system, as the paper's Section V prescribes: run a representative set of
+// workloads at the highest and lowest SMT levels, record (metric, speedup)
+// observations, and derive the decision threshold automatically with both
+// the Gini-impurity and the average-PPI procedures.
+//
+// Here the "new" system is the simulated Nehalem: the same code path an
+// integrator would follow for any architecture the metric is adapted to.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	smtselect "repro"
+)
+
+func main() {
+	// A compact but diverse calibration set: scalable compute, FP kernels,
+	// memory streaming, lock contention, I/O.
+	benches := []string{
+		"EP", "Swaptions", "Blackscholes", "BT", "Facesim",
+		"Streamcluster", "CG", "Dedup", "SSCA2", "Vips", "x264",
+	}
+
+	fmt.Println("calibrating the SMT-selection threshold on the Core i7 model")
+	fmt.Printf("(%d benchmarks, SMT2 vs SMT1)\n\n", len(benches))
+
+	cal, err := smtselect.Calibrate(smtselect.Nehalem(), 1, benches, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pts := cal.Points
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Metric < pts[j].Metric })
+	fmt.Println("observations (metric @SMT2 vs SMT2/SMT1 speedup):")
+	for _, p := range pts {
+		pref := "prefers SMT2"
+		if p.Speedup < 1 {
+			pref = "prefers SMT1"
+		}
+		fmt.Printf("  %-16s metric %.4f  speedup %.2f  (%s)\n", p.Label, p.Metric, p.Speedup, pref)
+	}
+
+	fmt.Printf("\nGini-impurity threshold: %.4f (optimal range [%.4f, %.4f], impurity %.3f)\n",
+		cal.GiniThreshold, cal.GiniLo, cal.GiniHi, cal.GiniImpurity)
+	fmt.Printf("average-PPI threshold:   %.4f (expected improvement %.1f%%)\n",
+		cal.PPIThreshold, cal.PPIBest)
+	fmt.Printf("success rate at the Gini threshold: %.0f%%\n", 100*cal.Accuracy)
+
+	// Apply the calibrated threshold to a workload outside the
+	// calibration set.
+	spec, err := smtselect.Workload("Raytrace")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := smtselect.NewNehalemMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := smtselect.RunWorkload(m, spec, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nheld-out workload %s: metric %.4f → predict lower SMT: %v\n",
+		spec.Name, res.Metric.Value, smtselect.PredictLowerSMT(res.Metric, cal.GiniThreshold))
+
+	best, _, err := smtselect.BestSMTLevel(smtselect.Nehalem(), 1, spec, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured best SMT level for %s: SMT%d\n", spec.Name, best)
+}

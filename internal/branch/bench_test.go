@@ -1,0 +1,16 @@
+package branch
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func BenchmarkPredict(b *testing.B) {
+	p := New(14, 4)
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(i&3, rng.Uint64n(64), rng.Float64() < 0.9)
+	}
+}

@@ -1,0 +1,99 @@
+// Package branch implements the simulated branch predictor: a gshare
+// pattern-history table of 2-bit saturating counters with per-hardware-thread
+// global history. Branch mispredictions are one of the stall sources SMT can
+// hide, and one of the naïve single-number predictors the paper shows to be
+// uncorrelated with SMT speedup (Fig. 2).
+package branch
+
+import "repro/internal/xrand"
+
+// Predictor is a gshare predictor. Each hardware context keeps its own
+// history register; the pattern table is shared by the contexts of a core,
+// as on real SMT hardware.
+type Predictor struct {
+	table   []uint8 // 2-bit saturating counters, initialised weakly taken
+	mask    uint64
+	history []uint64 // per hardware context
+
+	// Lookups and Mispredicts count predicted branches by outcome.
+	Lookups, Mispredicts uint64
+}
+
+// New builds a predictor with a 2^bits-entry table and one history register
+// per hardware context.
+func New(bits, contexts int) *Predictor {
+	if bits <= 0 || bits > 24 {
+		panic("branch: table bits out of range")
+	}
+	if contexts <= 0 {
+		panic("branch: non-positive context count")
+	}
+	size := 1 << uint(bits)
+	p := &Predictor{
+		table:   make([]uint8, size),
+		mask:    uint64(size - 1),
+		history: make([]uint64, contexts),
+	}
+	for i := range p.table {
+		p.table[i] = 2 // weakly taken
+	}
+	return p
+}
+
+// HistoryBits is the global-history length folded into the table index.
+// Keeping it well below the table's index width leaves each static branch a
+// private cluster of 2^HistoryBits counters, so two oppositely biased
+// branches rarely alias destructively.
+const HistoryBits = 6
+
+// index mixes the branch address with the context's recent history.
+func (p *Predictor) index(ctx int, pc uint64) uint64 {
+	return (xrand.Mix64(pc) ^ (p.history[ctx] & (1<<HistoryBits - 1))) & p.mask
+}
+
+// Predict runs one branch through the predictor: it looks up the prediction
+// for pc on context ctx, updates the counter and history with the actual
+// outcome, and reports whether the branch was mispredicted.
+func (p *Predictor) Predict(ctx int, pc uint64, taken bool) (mispredicted bool) {
+	idx := p.index(ctx, pc)
+	pred := p.table[idx] >= 2
+	if taken {
+		if p.table[idx] < 3 {
+			p.table[idx]++
+		}
+	} else {
+		if p.table[idx] > 0 {
+			p.table[idx]--
+		}
+	}
+	h := p.history[ctx] << 1
+	if taken {
+		h |= 1
+	}
+	p.history[ctx] = h
+
+	p.Lookups++
+	if pred != taken {
+		p.Mispredicts++
+		return true
+	}
+	return false
+}
+
+// Reset clears counters, table state and histories.
+func (p *Predictor) Reset() {
+	for i := range p.table {
+		p.table[i] = 2
+	}
+	clear(p.history)
+	p.Lookups = 0
+	p.Mispredicts = 0
+}
+
+// MispredictRate returns mispredicts per lookup (0 when no lookups).
+func (p *Predictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}

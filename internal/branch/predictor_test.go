@@ -1,0 +1,123 @@
+package branch
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 1}, {25, 1}, {10, 0}} {
+		func() {
+			defer func() { recover() }()
+			New(bad[0], bad[1])
+			t.Fatalf("New(%d, %d) did not panic", bad[0], bad[1])
+		}()
+	}
+}
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := New(12, 1)
+	for i := 0; i < 1000; i++ {
+		p.Predict(0, 0xabc, true)
+	}
+	if r := p.MispredictRate(); r > 0.01 {
+		t.Fatalf("mispredict rate %.4f on an always-taken branch", r)
+	}
+}
+
+func TestAlwaysNotTakenLearned(t *testing.T) {
+	p := New(12, 1)
+	p.Lookups, p.Mispredicts = 0, 0
+	for i := 0; i < 1000; i++ {
+		p.Predict(0, 0xdef, false)
+	}
+	// The table starts weakly-taken, so the first prediction or two miss.
+	if p.Mispredicts > 5 {
+		t.Fatalf("%d mispredicts on an always-not-taken branch", p.Mispredicts)
+	}
+}
+
+func TestBiasedBranchRate(t *testing.T) {
+	p := New(14, 1)
+	rng := xrand.New(1)
+	const bias = 0.95
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		p.Predict(0, 0x1234, rng.Float64() < bias)
+	}
+	r := p.MispredictRate()
+	// A 2-bit counter on a 95%-biased branch should mispredict roughly at
+	// the minority rate, with some counter dither.
+	if r < 0.03 || r > 0.12 {
+		t.Fatalf("mispredict rate %.4f on a 95%%-biased branch, want ~0.05-0.10", r)
+	}
+}
+
+func TestRandomBranchRate(t *testing.T) {
+	p := New(14, 1)
+	rng := xrand.New(2)
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		p.Predict(0, 0x777, rng.Float64() < 0.5)
+	}
+	r := p.MispredictRate()
+	if r < 0.4 || r > 0.6 {
+		t.Fatalf("mispredict rate %.4f on a random branch, want ~0.5", r)
+	}
+}
+
+func TestOppositeBiasesDoNotAlias(t *testing.T) {
+	// Two heavily but oppositely biased branches must both be predicted
+	// well — the limited-history indexing must keep them apart.
+	p := New(14, 1)
+	rng := xrand.New(3)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		p.Predict(0, 0xaaaa, rng.Float64() < 0.97)
+		p.Predict(0, 0xbbbb, rng.Float64() < 0.03)
+	}
+	if r := p.MispredictRate(); r > 0.12 {
+		t.Fatalf("mispredict rate %.4f with opposite-bias branches, want < 0.12", r)
+	}
+}
+
+func TestPerContextHistory(t *testing.T) {
+	p := New(12, 2)
+	// Different contexts have independent histories; predicting on ctx 1
+	// must not panic and must count lookups.
+	p.Predict(0, 0x1, true)
+	p.Predict(1, 0x1, false)
+	if p.Lookups != 2 {
+		t.Fatalf("lookups = %d, want 2", p.Lookups)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(12, 1)
+	for i := 0; i < 100; i++ {
+		p.Predict(0, 0x9, true)
+	}
+	p.Reset()
+	if p.Lookups != 0 || p.Mispredicts != 0 {
+		t.Fatal("counters survived reset")
+	}
+	if r := p.MispredictRate(); r != 0 {
+		t.Fatalf("rate %v after reset with no lookups", r)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() uint64 {
+		p := New(12, 4)
+		rng := xrand.New(9)
+		for i := 0; i < 10_000; i++ {
+			ctx := i % 4
+			p.Predict(ctx, rng.Uint64n(64), rng.Float64() < 0.8)
+		}
+		return p.Mispredicts
+	}
+	if run() != run() {
+		t.Fatal("predictor is not deterministic")
+	}
+}

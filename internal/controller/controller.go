@@ -1,0 +1,180 @@
+// Package controller implements the paper's Section V use-case: an online
+// optimizer (user-level scheduler or application tuner) that samples the
+// SMT-selection metric periodically and switches the system's SMT level to
+// whatever the metric predicts is best for the running workload.
+//
+// The paper's key operational findings are baked into the policy:
+//
+//   - the metric is only trustworthy when measured at the *highest* SMT
+//     level (Figs. 11-12 show it breaks down at SMT1), so the controller
+//     probes at the maximum level and steps down from there;
+//   - once below the maximum, the controller periodically re-probes at the
+//     maximum level so that workload phase changes are noticed;
+//   - hysteresis around the threshold prevents flapping for workloads whose
+//     metric rides the boundary.
+package controller
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/counters"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/smtsm"
+)
+
+// Config tunes the controller policy.
+type Config struct {
+	// Threshold is the SMTsm value above which a lower SMT level is
+	// preferred; calibrate it with the threshold package.
+	Threshold float64
+	// Hysteresis is the relative dead band around Threshold: the level
+	// steps down only above Threshold×(1+Hysteresis) and back up only
+	// below Threshold×(1−Hysteresis). Zero is allowed.
+	Hysteresis float64
+	// ProbeEvery forces a re-probe at the maximum SMT level after this
+	// many intervals spent at a lower level (0 disables re-probing).
+	ProbeEvery int
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Threshold <= 0 {
+		return errors.New("controller: non-positive threshold")
+	}
+	if c.Hysteresis < 0 || c.Hysteresis >= 1 {
+		return errors.New("controller: hysteresis out of [0,1)")
+	}
+	if c.ProbeEvery < 0 {
+		return errors.New("controller: negative probe interval")
+	}
+	return nil
+}
+
+// Controller holds the decision state.
+type Controller struct {
+	cfg   Config
+	desc  *arch.Desc
+	level int
+	// sinceProbe counts intervals since the controller last ran at the
+	// maximum SMT level.
+	sinceProbe int
+}
+
+// New builds a controller for the given architecture, starting at the
+// architecture's maximum SMT level (the hardware default).
+func New(d *arch.Desc, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg, desc: d, level: d.MaxSMT}, nil
+}
+
+// Level returns the controller's current SMT-level choice.
+func (c *Controller) Level() int { return c.level }
+
+// lowerLevel returns the next exposed level below l (or l if none).
+func (c *Controller) lowerLevel(l int) int {
+	best := l
+	for _, v := range c.desc.SMTLevels {
+		if v < l && (best == l || v > best) {
+			best = v
+		}
+	}
+	return best
+}
+
+// Decision describes one controller step, for logging.
+type Decision struct {
+	Interval  int
+	Level     int     // level the interval ran at
+	Metric    float64 // SMTsm observed over the interval
+	NextLevel int     // level chosen for the next interval
+	Probe     bool    // next interval is a forced max-level probe
+}
+
+// Observe feeds the controller the counter delta of the interval that just
+// ran at Level() and returns the decision for the next interval.
+func (c *Controller) Observe(interval int, delta *counters.Snapshot) Decision {
+	m := smtsm.Compute(c.desc, delta)
+	d := Decision{Interval: interval, Level: c.level, Metric: m.Value, NextLevel: c.level}
+
+	if c.level == c.desc.MaxSMT {
+		c.sinceProbe = 0
+		if m.Value > c.cfg.Threshold*(1+c.cfg.Hysteresis) {
+			d.NextLevel = c.lowerLevel(c.level)
+		}
+	} else {
+		c.sinceProbe++
+		// Below the maximum level the metric cannot foresee contention
+		// that more hardware threads would create (the paper's Fig. 11
+		// result), so the controller only moves by re-probing at the
+		// maximum level.
+		if c.cfg.ProbeEvery > 0 && c.sinceProbe >= c.cfg.ProbeEvery {
+			d.NextLevel = c.desc.MaxSMT
+			d.Probe = true
+			c.sinceProbe = 0
+		} else if m.Value > c.cfg.Threshold*(1+c.cfg.Hysteresis) {
+			// Still clearly past the threshold: consider an even lower
+			// level if one exists.
+			d.NextLevel = c.lowerLevel(c.level)
+		}
+	}
+	c.level = d.NextLevel
+	return d
+}
+
+// WorkSource supplies work in resizable chunks: each measurement interval
+// the driver asks for the next chunk sized for however many hardware
+// threads the current SMT level exposes. This models a malleable
+// application (thread-pool server, OpenMP program between parallel regions)
+// that re-sizes its thread count when the SMT level changes, as the paper's
+// experiments do.
+type WorkSource interface {
+	// NextChunk returns the software threads for the next interval, or
+	// ok=false when the work is exhausted.
+	NextChunk(threads int) (srcs []isa.Source, ok bool)
+}
+
+// IntervalResult logs one adaptive-run interval.
+type IntervalResult struct {
+	Decision
+	Wall    int64
+	Retired uint64
+}
+
+// RunAdaptive drives machine through src's work, one chunk per interval,
+// consulting the controller between chunks. It returns the per-interval log
+// and the total wall cycles.
+func RunAdaptive(m *cpu.Machine, ctrl *Controller, src WorkSource, maxCycles int64) ([]IntervalResult, int64, error) {
+	var log []IntervalResult
+	var total int64
+	if err := m.SetSMTLevel(ctrl.Level()); err != nil {
+		return nil, 0, err
+	}
+	prev := m.Counters()
+	for interval := 0; ; interval++ {
+		srcs, ok := src.NextChunk(m.HardwareThreads())
+		if !ok {
+			break
+		}
+		wall, err := m.Run(srcs, maxCycles)
+		if err != nil {
+			return log, total, fmt.Errorf("interval %d: %w", interval, err)
+		}
+		total += wall
+		snap := m.Counters()
+		delta := snap.Delta(&prev)
+		prev = snap
+		dec := ctrl.Observe(interval, &delta)
+		log = append(log, IntervalResult{Decision: dec, Wall: wall, Retired: delta.Retired})
+		if dec.NextLevel != m.SMTLevel() {
+			if err := m.SetSMTLevel(dec.NextLevel); err != nil {
+				return log, total, err
+			}
+		}
+	}
+	return log, total, nil
+}

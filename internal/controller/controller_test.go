@@ -1,0 +1,224 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/counters"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func cfg() Config {
+	return Config{Threshold: 0.2, Hysteresis: 0.1, ProbeEvery: 4}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Threshold: 0},
+		{Threshold: 0.1, Hysteresis: -0.1},
+		{Threshold: 0.1, Hysteresis: 1},
+		{Threshold: 0.1, ProbeEvery: -1},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("config %d passed validation", i)
+		}
+	}
+	good := cfg()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartsAtMaxLevel(t *testing.T) {
+	c, err := New(arch.POWER7(), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Level() != 4 {
+		t.Fatalf("initial level %d, want 4", c.Level())
+	}
+}
+
+// snapshotWithMetric fabricates a counter delta whose metric lands near the
+// given magnitude: high metric = skewed mix and dispatch saturation.
+func snapshotWithMetric(high bool) counters.Snapshot {
+	s := counters.Snapshot{
+		WallCycles: 10_000, CoreCycles: 80_000,
+		Retired:    100_000,
+		ThreadBusy: []int64{10_000, 10_000},
+	}
+	if high {
+		s.DispHeldCycles = 72_000
+		s.RetiredByClass[isa.Branch] = 40_000
+		s.RetiredByClass[isa.Load] = 40_000
+		s.RetiredByClass[isa.Int] = 20_000
+	} else {
+		s.DispHeldCycles = 4_000
+		s.RetiredByClass[isa.Load] = 14_286
+		s.RetiredByClass[isa.Store] = 14_286
+		s.RetiredByClass[isa.Branch] = 14_286
+		s.RetiredByClass[isa.Int] = 28_571
+		s.RetiredByClass[isa.FPVec] = 28_571
+	}
+	return s
+}
+
+func TestStepsDownOnHighMetric(t *testing.T) {
+	c, _ := New(arch.POWER7(), cfg())
+	s := snapshotWithMetric(true)
+	d := c.Observe(0, &s)
+	if d.NextLevel != 2 {
+		t.Fatalf("next level %d after a high metric at SMT4, want 2", d.NextLevel)
+	}
+	// Still high at SMT2: steps to SMT1.
+	d = c.Observe(1, &s)
+	if d.NextLevel != 1 {
+		t.Fatalf("next level %d after a high metric at SMT2, want 1", d.NextLevel)
+	}
+	// At SMT1 there is nowhere lower to go.
+	d = c.Observe(2, &s)
+	if d.NextLevel != 1 {
+		t.Fatalf("next level %d at SMT1, want to stay at 1", d.NextLevel)
+	}
+}
+
+func TestStaysAtMaxOnLowMetric(t *testing.T) {
+	c, _ := New(arch.POWER7(), cfg())
+	s := snapshotWithMetric(false)
+	for i := 0; i < 5; i++ {
+		if d := c.Observe(i, &s); d.NextLevel != 4 {
+			t.Fatalf("interval %d: level %d, want 4", i, d.NextLevel)
+		}
+	}
+}
+
+func TestPeriodicReprobe(t *testing.T) {
+	c, _ := New(arch.POWER7(), cfg())
+	high := snapshotWithMetric(true)
+	low := snapshotWithMetric(false)
+	c.Observe(0, &high) // 4 -> 2
+	if c.Level() != 2 {
+		t.Fatalf("level %d, want 2", c.Level())
+	}
+	// The workload changed phase: metric now low, but the controller
+	// cannot trust a low-SMT measurement (the paper's Fig. 11); it must
+	// re-probe at the maximum level after ProbeEvery intervals.
+	probed := false
+	for i := 1; i < 10; i++ {
+		d := c.Observe(i, &low)
+		if d.Probe {
+			probed = true
+			if d.NextLevel != 4 {
+				t.Fatalf("probe went to level %d, want 4", d.NextLevel)
+			}
+			break
+		}
+	}
+	if !probed {
+		t.Fatal("controller never re-probed at the maximum level")
+	}
+}
+
+func TestHysteresisPreventsFlapping(t *testing.T) {
+	c, _ := New(arch.POWER7(), Config{Threshold: 0.2, Hysteresis: 0.5, ProbeEvery: 0})
+	// A metric just over the threshold but inside the hysteresis band
+	// must not trigger a step down.
+	s := counters.Snapshot{
+		WallCycles: 10_000, CoreCycles: 80_000,
+		DispHeldCycles: 40_000, // dispHeld 0.5
+		Retired:        100_000,
+		ThreadBusy:     []int64{10_000},
+	}
+	s.RetiredByClass[isa.Load] = 60_000
+	s.RetiredByClass[isa.Int] = 40_000
+	d := c.Observe(0, &s)
+	if d.Metric <= 0.2 || d.Metric >= 0.3 {
+		t.Fatalf("test snapshot metric %v outside the intended band (0.2, 0.3)", d.Metric)
+	}
+	if d.NextLevel != 4 {
+		t.Fatalf("level stepped down to %d inside the hysteresis band", d.NextLevel)
+	}
+}
+
+func TestNehalemLevels(t *testing.T) {
+	c, _ := New(arch.Nehalem(), cfg())
+	if c.Level() != 2 {
+		t.Fatalf("initial Nehalem level %d, want 2", c.Level())
+	}
+	s := snapshotWithMetric(true)
+	if d := c.Observe(0, &s); d.NextLevel != 1 {
+		t.Fatalf("next level %d, want 1", d.NextLevel)
+	}
+}
+
+// chunkSource adapts a workload spec to the WorkSource interface.
+type chunkSource struct {
+	spec   *workload.Spec
+	chunks int
+	seed   uint64
+}
+
+func (c *chunkSource) NextChunk(threads int) ([]isa.Source, bool) {
+	if c.chunks == 0 {
+		return nil, false
+	}
+	c.chunks--
+	c.seed++
+	spec := *c.spec
+	spec.TotalWork = 400_000
+	inst, err := workload.Instantiate(&spec, threads, c.seed)
+	if err != nil {
+		return nil, false
+	}
+	return inst.Sources(), true
+}
+
+func TestRunAdaptiveSwitchesForContendedWorkload(t *testing.T) {
+	m, err := cpu.NewMachine(arch.POWER7(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := New(arch.POWER7(), Config{Threshold: 0.2, Hysteresis: 0.05, ProbeEvery: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := workload.Get("SPECjbb_contention")
+	src := &chunkSource{spec: spec, chunks: 4, seed: 1}
+	log, total, err := RunAdaptive(m, ctrl, src, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 || len(log) != 4 {
+		t.Fatalf("log %d entries, total %d", len(log), total)
+	}
+	// The heavily contended workload must have driven the level down.
+	if last := log[len(log)-1].NextLevel; last >= 4 {
+		t.Fatalf("controller stayed at SMT%d for a contended workload", last)
+	}
+}
+
+func TestRunAdaptiveKeepsSMTForScalableWorkload(t *testing.T) {
+	m, err := cpu.NewMachine(arch.POWER7(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := New(arch.POWER7(), Config{Threshold: 0.2, Hysteresis: 0.05, ProbeEvery: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := workload.Get("EP")
+	src := &chunkSource{spec: spec, chunks: 3, seed: 1}
+	log, _, err := RunAdaptive(m, ctrl, src, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range log {
+		if entry.NextLevel != 4 {
+			t.Fatalf("interval %d moved to SMT%d for EP, want to stay at 4",
+				entry.Interval, entry.NextLevel)
+		}
+	}
+}

@@ -1,0 +1,635 @@
+// Package cpu implements the cycle-approximate SMT processor simulator: a
+// multi-chip, multi-core machine where each core runs 1-4 hardware contexts
+// over a shared out-of-order backend, modelled after the POWER7 and Nehalem
+// execution engines the paper describes (its Figs. 4 and 5).
+//
+// The model captures exactly the mechanisms the SMT-selection metric keys
+// on:
+//
+//   - issue ports with class-restricted eligibility, so a homogeneous
+//     instruction mix saturates one port while others idle;
+//   - per-port issue queues and a reorder window partitioned per SMT level,
+//     with dispatch-held-for-resources accounting (PM_DISP_CLB_HELD_RES);
+//   - dependency-tracked out-of-order issue, so long dependency chains leave
+//     issue slots for other hardware contexts;
+//   - a cache hierarchy and finite-bandwidth DRAM, so memory-bound threads
+//     stall (an opportunity for SMT) or contend (a hazard of SMT);
+//   - branch prediction with fetch-redirect stalls.
+//
+// Simulation is trace-driven: each hardware context pulls its software
+// thread's dynamic instruction stream from an isa.Source. Mispredicted
+// branches stall fetch until resolution rather than executing a wrong path,
+// the standard trace-driven approximation.
+package cpu
+
+import (
+	"repro/internal/arch"
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+const (
+	// histBits sizes the per-context instruction history ring. It must
+	// hold the largest per-context window plus isa.MaxDepDistance so that
+	// dependency lookups on retired instructions still find their
+	// completion times (512 covers the SMT8 model's 256-entry window).
+	histBits = 9
+	histSize = 1 << histBits
+	histMask = histSize - 1
+
+	// fetchBufCap is the per-context fetch/decode buffer depth.
+	fetchBufCap = 16
+
+	// unknownCycle marks an entry whose completion time is not yet known
+	// (not yet issued).
+	unknownCycle = int64(1) << 62
+)
+
+// entryState tracks an instruction's position in the backend.
+type entryState uint8
+
+const (
+	entryEmpty   entryState = iota
+	entryWaiting            // dispatched into a port queue, not yet issued
+	entryIssued             // issued; completeAt is valid
+)
+
+// entry is one in-flight (or recently retired) instruction in a context's
+// history ring.
+type entry struct {
+	completeAt int64
+	// readyAt is a cached lower bound on the cycle this entry's operands
+	// can be ready, so the issue scan can skip it cheaply until then.
+	readyAt    int64
+	addr       uint64
+	dep1, dep2 int64 // absolute sequence numbers; negative = no dependency
+	class      isa.Class
+	state      entryState
+	mispredict bool
+	shared     bool
+}
+
+// Context is one hardware thread: the execution context of a software
+// thread placed on a core. Contexts beyond the current SMT level are
+// inactive.
+type Context struct {
+	core    *Core
+	localID int // index within the core
+	src     isa.Source
+	waker   Waker // src's wake-hint interface, when implemented
+
+	entries    [histSize]entry
+	head, tail int64 // window is [head, tail); seq numbers are global per context
+
+	fetchBuf        [fetchBufCap]isa.Inst
+	fetchMispredict [fetchBufCap]bool
+	fbHead, fbLen   int
+
+	// fetchBlocked is set when a mispredicted branch has been fetched and
+	// not yet issued: no further instructions enter the pipeline.
+	fetchBlocked bool
+	// fetchStallUntil delays fetch after a mispredicted branch resolves.
+	fetchStallUntil int64
+
+	done     bool // source reported FetchDone
+	finished bool // done and pipeline drained
+
+	// busyCycles accrues the context's CPU time. A context is busy on
+	// every cycle it exists except when its software thread is truly
+	// asleep: pipeline empty and the source reporting FetchIdle. Stalls
+	// (cache misses, mispredict redirects, fetch arbitration) count as
+	// busy, exactly as OS CPU-time accounting sees them. Sleeping accrues
+	// nothing, which is what makes wall-time / avg-thread-time a
+	// scalability signal.
+	busyCycles int64
+
+	fetchedThisCycle bool
+	sawIdleThisCycle bool
+}
+
+// windowLen returns the number of in-flight instructions.
+func (c *Context) windowLen() int { return int(c.tail - c.head) }
+
+// reset prepares the context for a new software thread. busyCycles is NOT
+// cleared: like every other counter it accumulates across runs (per-thread
+// CPU time on real hardware does not reset when a new process lands on a
+// context); Machine.Reset clears it.
+func (c *Context) reset(src isa.Source) {
+	for i := range c.entries {
+		c.entries[i] = entry{}
+	}
+	c.src = src
+	c.waker = nil
+	if w, ok := src.(Waker); ok {
+		c.waker = w
+	}
+	c.head, c.tail = 0, 0
+	c.fbHead, c.fbLen = 0, 0
+	c.fetchBlocked = false
+	c.fetchStallUntil = 0
+	c.done = src == nil
+	c.finished = c.done
+	c.fetchedThisCycle = false
+}
+
+// portRef locates a dispatched instruction from a port queue.
+type portRef struct {
+	seq int64
+	ctx uint8
+}
+
+// portQueue is one issue port's queue, shared by the core's contexts. The
+// backing ring is sized to a power of two so position arithmetic is a mask;
+// cap is the architectural capacity.
+type portQueue struct {
+	refs      []portRef // ring buffer, len is a power of two
+	mask      int
+	cap       int
+	head, n   int
+	busyUntil int64 // for unpipelined ops and extra-port consumption
+}
+
+func (q *portQueue) init(capacity int) {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	q.refs = make([]portRef, size)
+	q.mask = size - 1
+	q.cap = capacity
+}
+
+func (q *portQueue) full() bool  { return q.n == q.cap }
+func (q *portQueue) empty() bool { return q.n == 0 }
+
+func (q *portQueue) push(r portRef) {
+	q.refs[(q.head+q.n)&q.mask] = r
+	q.n++
+}
+
+// at returns the i-th oldest reference.
+func (q *portQueue) at(i int) portRef { return q.refs[(q.head+i)&q.mask] }
+
+// removeAt deletes the i-th oldest reference, preserving order.
+func (q *portQueue) removeAt(i int) {
+	for j := i; j > 0; j-- {
+		q.refs[(q.head+j)&q.mask] = q.refs[(q.head+j-1)&q.mask]
+	}
+	q.head = (q.head + 1) & q.mask
+	q.n--
+}
+
+// Core is one processor core: up to MaxSMT hardware contexts sharing a
+// fetch/dispatch frontend, per-port issue queues, an L1D/L2 cache pair, a
+// branch predictor, and the chip's shared L3.
+type Core struct {
+	arch *arch.Desc
+	chip *Chip
+	id   int // global core index
+
+	contexts []*Context // len = arch.MaxSMT; first smtLevel are active
+	active   int        // current SMT level
+
+	ports []portQueue
+	pred  *branch.Predictor
+	l1    *mem.Cache
+	l2    *mem.Cache
+	pf    prefetcher
+
+	windowPerCtx int
+	fetchRR      int
+	dispatchRR   int
+	retireRR     int
+
+	// Counters (see counters.Snapshot for semantics).
+	dispHeldCycles uint64
+	retired        uint64
+	retiredByClass [isa.NumClasses]uint64
+	issuedByPort   []uint64
+	hitsByLevel    [mem.NumLevels]uint64
+}
+
+func newCore(d *arch.Desc, chip *Chip, id int) *Core {
+	c := &Core{
+		arch:         d,
+		chip:         chip,
+		id:           id,
+		ports:        make([]portQueue, d.NumPorts),
+		pred:         branch.New(d.BranchBits, d.MaxSMT),
+		l1:           mem.NewCache(d.Mem.L1Size, d.Mem.L1Ways, d.Mem.LineSize),
+		l2:           mem.NewCache(d.Mem.L2Size, d.Mem.L2Ways, d.Mem.LineSize),
+		issuedByPort: make([]uint64, d.NumPorts),
+	}
+	for p := range c.ports {
+		c.ports[p].init(d.PortQueueCap)
+	}
+	c.contexts = make([]*Context, d.MaxSMT)
+	for i := range c.contexts {
+		c.contexts[i] = &Context{core: c, localID: i}
+		c.contexts[i].reset(nil)
+	}
+	c.setSMT(1)
+	return c
+}
+
+// setSMT activates the first level contexts and repartitions the window.
+func (c *Core) setSMT(level int) {
+	c.active = level
+	c.windowPerCtx = c.arch.WindowPerContext(level)
+	if c.windowPerCtx > histSize-isa.MaxDepDistance-1 {
+		c.windowPerCtx = histSize - isa.MaxDepDistance - 1
+	}
+}
+
+// resetState clears microarchitectural and counter state.
+func (c *Core) resetState() {
+	for p := range c.ports {
+		c.ports[p].head, c.ports[p].n, c.ports[p].busyUntil = 0, 0, 0
+	}
+	c.pred.Reset()
+	c.l1.Reset()
+	c.l2.Reset()
+	c.pf.reset()
+	c.fetchRR, c.dispatchRR, c.retireRR = 0, 0, 0
+	c.dispHeldCycles = 0
+	c.retired = 0
+	c.retiredByClass = [isa.NumClasses]uint64{}
+	for i := range c.issuedByPort {
+		c.issuedByPort[i] = 0
+	}
+	c.hitsByLevel = [mem.NumLevels]uint64{}
+}
+
+// accessMem walks the memory hierarchy for a demand access and returns the
+// load-use latency. Shared-region addresses on a multi-chip machine may be
+// homed on a remote chip, adding a cross-chip penalty and consuming the
+// remote channel's bandwidth (the NUMA effect of the paper's two-chip
+// experiments). L1 misses train the stream prefetcher, and demand accesses
+// that catch an in-flight prefetched line pay only its remaining latency.
+func (c *Core) accessMem(addr uint64, shared bool, now int64) int {
+	d := &c.arch.Mem
+	if c.l1.Access(addr) {
+		c.hitsByLevel[mem.LevelL1]++
+		return d.L1Lat
+	}
+
+	line := lineOf(addr, d.LineSize)
+	if c.pf.note(line) {
+		c.prefetchAhead(line, shared, now)
+	}
+
+	if slot := c.pf.lookup(line); slot >= 0 {
+		pl := &c.pf.inflight[slot]
+		c.pf.Useful++
+		if pl.readyAt <= now {
+			// Prefetch already landed: treat as an L2 hit.
+			pl.valid = false
+			c.l2.Insert(addr)
+			c.l1.Insert(addr)
+			c.hitsByLevel[mem.LevelL2]++
+			return d.L2Lat
+		}
+		// Still in flight: pay the remaining latency.
+		remaining := int(pl.readyAt - now)
+		pl.valid = false
+		c.l2.Insert(addr)
+		c.l1.Insert(addr)
+		c.hitsByLevel[mem.LevelMem]++
+		if remaining < d.L2Lat {
+			remaining = d.L2Lat
+		}
+		return remaining
+	}
+
+	if c.l2.Access(addr) {
+		c.l1.Insert(addr)
+		c.hitsByLevel[mem.LevelL2]++
+		return d.L2Lat
+	}
+	if c.chip.l3.Access(addr) {
+		c.l2.Insert(addr)
+		c.l1.Insert(addr)
+		c.hitsByLevel[mem.LevelL3]++
+		return d.L3Lat
+	}
+	c.l2.Insert(addr)
+	c.l1.Insert(addr)
+	c.hitsByLevel[mem.LevelMem]++
+
+	home, penalty := c.homeChannel(addr, shared)
+	return d.L3Lat + home.Access(now, addr) + penalty
+}
+
+// dramHomeShift interleaves shared memory across chips at 4 KiB granularity.
+const dramHomeShift = 12
+
+// stepRetire completes in-order retirement for the cycle.
+func (c *Core) stepRetire(now int64) {
+	budget := c.arch.RetireWidth
+	for i := 0; i < c.active && budget > 0; i++ {
+		ctx := c.contexts[(c.retireRR+i)%c.active]
+		for budget > 0 && ctx.head < ctx.tail {
+			e := &ctx.entries[ctx.head&histMask]
+			if e.state != entryIssued || e.completeAt > now {
+				break
+			}
+			c.retired++
+			c.retiredByClass[e.class]++
+			ctx.head++
+			budget--
+		}
+	}
+	c.retireRR++
+	if c.retireRR >= c.arch.MaxSMT {
+		c.retireRR = 0
+	}
+}
+
+// ready reports whether the entry's dependencies have completed at cycle
+// now; when they have not, it returns a lower bound on the cycle at which
+// they could be. For a producer that has not itself issued, the bound
+// chains through the producer's own readiness bound plus its minimum
+// latency — a sound transitive lower bound that spares the issue scan from
+// re-probing deep dependency chains every cycle.
+func (ctx *Context) ready(e *entry, now int64) (bool, int64) {
+	lat := &ctx.core.arch.Latency
+	bound := now
+	if e.dep1 >= 0 {
+		d := &ctx.entries[e.dep1&histMask]
+		if d.state != entryIssued {
+			b := d.readyAt + int64(lat[d.class])
+			if b <= now {
+				b = now + 1
+			}
+			return false, b
+		}
+		if d.completeAt > bound {
+			bound = d.completeAt
+		}
+	}
+	if e.dep2 >= 0 {
+		d := &ctx.entries[e.dep2&histMask]
+		if d.state != entryIssued {
+			b := d.readyAt + int64(lat[d.class])
+			if b <= now {
+				b = now + 1
+			}
+			return false, b
+		}
+		if d.completeAt > bound {
+			bound = d.completeAt
+		}
+	}
+	return bound <= now, bound
+}
+
+// stepIssue issues at most one ready instruction per free port.
+func (c *Core) stepIssue(now int64) {
+	for p := range c.ports {
+		q := &c.ports[p]
+		if q.busyUntil > now || q.empty() {
+			continue
+		}
+		for i := 0; i < q.n; i++ {
+			r := q.at(i)
+			ctx := c.contexts[r.ctx]
+			e := &ctx.entries[r.seq&histMask]
+			if e.readyAt > now {
+				continue
+			}
+			ok, bound := ctx.ready(e, now)
+			if !ok {
+				e.readyAt = bound
+				continue
+			}
+			c.issue(ctx, e, p, now)
+			q.removeAt(i)
+			break
+		}
+	}
+}
+
+// issue executes one instruction on port p at cycle now.
+func (c *Core) issue(ctx *Context, e *entry, p int, now int64) {
+	c.issuedByPort[p]++
+
+	// Extra-port consumption (Nehalem store-data port fires with the
+	// store-address port).
+	if extra := c.arch.ExtraPorts[e.class]; extra != 0 {
+		for xp := 0; xp < c.arch.NumPorts; xp++ {
+			if extra.Has(xp) {
+				c.issuedByPort[xp]++
+				if c.ports[xp].busyUntil < now+1 {
+					c.ports[xp].busyUntil = now + 1
+				}
+			}
+		}
+	}
+
+	lat := c.arch.Latency[e.class]
+	switch e.class {
+	case isa.Load:
+		lat = c.accessMem(e.addr, e.shared, now)
+	case isa.Store:
+		// The store updates the cache and consumes bandwidth on a miss,
+		// but drains through the store queue: dependents (and retire)
+		// only wait one cycle.
+		c.accessMem(e.addr, e.shared, now)
+		lat = 1
+	case isa.FPDiv:
+		// The divider is not pipelined: hold the port.
+		c.ports[p].busyUntil = now + int64(lat)
+	case isa.IntMul:
+		c.ports[p].busyUntil = now + 2
+	}
+
+	e.state = entryIssued
+	e.completeAt = now + int64(lat)
+
+	if e.mispredict {
+		// The frontend resumes fetching down the correct path a redirect
+		// penalty after the branch resolves.
+		ctx.fetchStallUntil = e.completeAt + int64(c.arch.MispredictPenalty)
+		ctx.fetchBlocked = false
+	}
+}
+
+// stepDispatch moves instructions from fetch buffers into the window and
+// port queues, recording a held cycle when resources block it. Arbitration
+// is one instruction per context per sweep (ICOUNT-style balance): an SMT
+// frontend must not let one thread flood the shared issue queues, or its
+// siblings starve behind a wall of not-yet-ready instructions.
+func (c *Core) stepDispatch(now int64) {
+	budget := c.arch.DispatchWidth
+	held := false
+	start := c.dispatchRR
+	progress := true
+	for budget > 0 && progress {
+		progress = false
+		for i := 0; i < c.active && budget > 0; i++ {
+			ctx := c.contexts[(start+i)%c.active]
+			if ctx.fbLen == 0 {
+				continue
+			}
+			if ctx.windowLen() >= c.windowPerCtx {
+				held = true
+				continue
+			}
+			inst := &ctx.fetchBuf[ctx.fbHead]
+			port := c.pickPort(inst.Class)
+			if port < 0 {
+				held = true
+				continue
+			}
+			seq := ctx.tail
+			e := &ctx.entries[seq&histMask]
+			e.addr = inst.Addr
+			e.class = inst.Class
+			e.state = entryWaiting
+			e.completeAt = unknownCycle
+			e.readyAt = 0
+			e.mispredict = ctx.fetchMispredict[ctx.fbHead]
+			e.shared = inst.SharedAddr
+			e.dep1, e.dep2 = -1, -1
+			if inst.Dep1 > 0 {
+				e.dep1 = seq - int64(inst.Dep1)
+				if e.dep1 < 0 {
+					e.dep1 = -1
+				}
+			}
+			if inst.Dep2 > 0 {
+				e.dep2 = seq - int64(inst.Dep2)
+				if e.dep2 < 0 {
+					e.dep2 = -1
+				}
+			}
+			ctx.tail++
+			c.ports[port].push(portRef{seq: seq, ctx: uint8(ctx.localID)})
+			ctx.fbHead = (ctx.fbHead + 1) % fetchBufCap
+			ctx.fbLen--
+			budget--
+			progress = true
+		}
+	}
+	c.dispatchRR++
+	if c.dispatchRR >= c.arch.MaxSMT {
+		c.dispatchRR = 0
+	}
+	if held {
+		c.dispHeldCycles++
+	}
+}
+
+// pickPort selects the eligible port with the most queue headroom, or -1 if
+// every eligible queue is full.
+func (c *Core) pickPort(class isa.Class) int {
+	mask := c.arch.ClassPorts[class]
+	best, bestFree := -1, 0
+	for p := 0; p < c.arch.NumPorts; p++ {
+		if !mask.Has(p) {
+			continue
+		}
+		free := len(c.ports[p].refs) - c.ports[p].n
+		if free > bestFree {
+			best, bestFree = p, free
+		}
+	}
+	return best
+}
+
+// stepFetch pulls instructions from sources into fetch buffers, running the
+// branch predictor as branches enter the pipeline.
+func (c *Core) stepFetch(now int64) {
+	for _, ctx := range c.contexts {
+		ctx.fetchedThisCycle = false
+		ctx.sawIdleThisCycle = false
+	}
+	budget := c.arch.FetchWidth
+	threads := c.arch.FetchThreads
+	start := c.fetchRR
+	c.fetchRR++
+	if c.fetchRR >= c.arch.MaxSMT {
+		c.fetchRR = 0
+	}
+	for i := 0; i < c.active && budget > 0 && threads > 0; i++ {
+		ctx := c.contexts[(start+i)%c.active]
+		if ctx.done || ctx.fetchBlocked || now < ctx.fetchStallUntil || ctx.fbLen == fetchBufCap {
+			continue
+		}
+		took := 0
+		for budget > 0 && ctx.fbLen < fetchBufCap && !ctx.fetchBlocked {
+			slot := (ctx.fbHead + ctx.fbLen) % fetchBufCap
+			st := ctx.src.Fetch(now, &ctx.fetchBuf[slot])
+			if st == isa.FetchDone {
+				ctx.done = true
+				break
+			}
+			if st == isa.FetchIdle {
+				ctx.sawIdleThisCycle = true
+				break
+			}
+			inst := &ctx.fetchBuf[slot]
+			mis := false
+			if inst.Class == isa.Branch {
+				mis = c.pred.Predict(ctx.localID, inst.Addr, inst.Taken)
+				if mis {
+					ctx.fetchBlocked = true
+				}
+			}
+			ctx.fetchMispredict[slot] = mis
+			ctx.fbLen++
+			budget--
+			took++
+		}
+		if took > 0 {
+			ctx.fetchedThisCycle = true
+			threads--
+		}
+	}
+}
+
+// endCycle performs busy accounting and finish detection; it returns the
+// number of contexts that finished this cycle.
+func (c *Core) endCycle(now int64) int {
+	finished := 0
+	for i := 0; i < c.active; i++ {
+		ctx := c.contexts[i]
+		if ctx.finished {
+			continue
+		}
+		asleep := false
+		if ctx.windowLen() == 0 && ctx.fbLen == 0 && !ctx.fetchedThisCycle && !ctx.done {
+			if ctx.sawIdleThisCycle {
+				asleep = true
+			} else if ctx.waker != nil {
+				// The context was not probed this cycle (fetch
+				// arbitration); ask the source whether it is sleeping.
+				asleep = ctx.waker.WakeHint(now) > now
+			}
+		}
+		if !asleep {
+			ctx.busyCycles++
+		}
+		if ctx.done && ctx.windowLen() == 0 && ctx.fbLen == 0 {
+			ctx.finished = true
+			finished++
+		}
+	}
+	return finished
+}
+
+// anyBusy reports whether any active context did work this cycle or has
+// in-flight instructions.
+func (c *Core) anyBusy() bool {
+	for i := 0; i < c.active; i++ {
+		ctx := c.contexts[i]
+		if ctx.finished {
+			continue
+		}
+		if ctx.fetchedThisCycle || ctx.windowLen() > 0 || ctx.fbLen > 0 {
+			return true
+		}
+	}
+	return false
+}

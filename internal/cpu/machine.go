@@ -1,0 +1,297 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/counters"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Chip is one processor package: cores plus a shared L3 and a memory
+// channel.
+type Chip struct {
+	machine *Machine
+	id      int
+	cores   []*Core
+	l3      *mem.Cache
+	dram    *mem.DRAM
+}
+
+// Machine is the simulated system: one or more chips of the same
+// architecture, with an SMT level that applies machine-wide (as AIX's
+// smtctl does).
+type Machine struct {
+	desc  *arch.Desc
+	chips []*Chip
+
+	smtLevel    int
+	numaPenalty int
+
+	now     int64
+	running bool
+
+	// threadCtx maps software-thread index (of the current/last run) to
+	// its hardware context.
+	threadCtx []*Context
+	// activeCores counts the cores hosting threads in the current/last
+	// run; counter fractions (dispatch-held per core cycle) are computed
+	// over these, not over cores left idle by a small run.
+	activeCores int
+}
+
+// DefaultNUMAPenalty is the extra latency, in cycles, of a DRAM access homed
+// on a remote chip.
+const DefaultNUMAPenalty = 90
+
+// NewMachine builds a machine with the given architecture and chip count,
+// starting at the architecture's deepest SMT level (the hardware default the
+// paper notes).
+func NewMachine(d *arch.Desc, numChips int) (*Machine, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if numChips <= 0 {
+		return nil, errors.New("cpu: non-positive chip count")
+	}
+	m := &Machine{desc: d, numaPenalty: DefaultNUMAPenalty}
+	coreID := 0
+	for ci := 0; ci < numChips; ci++ {
+		chip := &Chip{
+			machine: m,
+			id:      ci,
+			l3:      mem.NewCache(d.Mem.L3Size, d.Mem.L3Ways, d.Mem.LineSize),
+			dram:    mem.NewDRAM(d.Mem.MemLat, d.Mem.MemCyclesPerLine, d.Mem.MemMaxQueue),
+		}
+		for k := 0; k < d.CoresPerChip; k++ {
+			chip.cores = append(chip.cores, newCore(d, chip, coreID))
+			coreID++
+		}
+		m.chips = append(m.chips, chip)
+	}
+	if err := m.SetSMTLevel(d.MaxSMT); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Arch returns the machine's architecture description.
+func (m *Machine) Arch() *arch.Desc { return m.desc }
+
+// NumChips returns the chip count.
+func (m *Machine) NumChips() int { return len(m.chips) }
+
+// NumCores returns the total core count.
+func (m *Machine) NumCores() int { return len(m.chips) * m.desc.CoresPerChip }
+
+// SMTLevel returns the current SMT level.
+func (m *Machine) SMTLevel() int { return m.smtLevel }
+
+// HardwareThreads returns the number of hardware contexts available at the
+// current SMT level — the thread count the paper's experiments use for the
+// software side.
+func (m *Machine) HardwareThreads() int { return m.NumCores() * m.smtLevel }
+
+// SetSMTLevel reconfigures every core to the given SMT level. Like AIX
+// smtctl, it acts at a quiescent point: it fails if a run is in progress.
+func (m *Machine) SetSMTLevel(level int) error {
+	if m.running {
+		return errors.New("cpu: cannot change SMT level while a run is in progress")
+	}
+	if !m.desc.SupportsSMT(level) {
+		return fmt.Errorf("cpu: architecture %s does not expose SMT%d", m.desc.Name, level)
+	}
+	m.smtLevel = level
+	for _, chip := range m.chips {
+		for _, core := range chip.cores {
+			core.setSMT(level)
+		}
+	}
+	return nil
+}
+
+// Reset clears all microarchitectural state (caches, predictors, DRAM row
+// buffers), counters, and the clock. Placement and SMT level survive.
+func (m *Machine) Reset() {
+	m.now = 0
+	m.threadCtx = nil
+	for _, chip := range m.chips {
+		chip.l3.Reset()
+		chip.dram.Reset()
+		for _, core := range chip.cores {
+			core.resetState()
+			for _, ctx := range core.contexts {
+				ctx.reset(nil)
+				ctx.busyCycles = 0
+			}
+		}
+	}
+}
+
+// Waker is an optional isa.Source extension: a sleeping source reports the
+// earliest cycle at which it could have work again, letting the simulator
+// skip fully idle stretches without losing determinism.
+type Waker interface {
+	WakeHint(now int64) int64
+}
+
+// ErrCycleLimit is returned by Run when maxCycles elapses before every
+// software thread finishes.
+var ErrCycleLimit = errors.New("cpu: cycle limit reached before all threads finished")
+
+// Run places the given software-thread sources onto the machine's active
+// hardware contexts (thread i on context i, contexts enumerated core-major
+// across chips — the OS-affinity placement the paper's experiments use) and
+// simulates until all sources report done. It returns the wall-clock cycle
+// count of the run.
+//
+// The number of sources must not exceed the active hardware thread count.
+// Microarchitectural state is NOT reset: successive runs see warm caches,
+// as successive measurement intervals do on real hardware. Counters
+// accumulate; use Counters before and after and Delta for interval numbers.
+func (m *Machine) Run(sources []isa.Source, maxCycles int64) (int64, error) {
+	hw := m.HardwareThreads()
+	if len(sources) > hw {
+		return 0, fmt.Errorf("cpu: %d sources exceed %d hardware threads", len(sources), hw)
+	}
+	if len(sources) == 0 {
+		return 0, errors.New("cpu: no sources")
+	}
+	if maxCycles <= 0 {
+		maxCycles = 1 << 40
+	}
+	m.running = true
+	defer func() { m.running = false }()
+
+	// Placement: thread i → active context i, core-major.
+	m.threadCtx = make([]*Context, len(sources))
+	m.activeCores = (len(sources) + m.smtLevel - 1) / m.smtLevel
+	idx := 0
+	for _, chip := range m.chips {
+		for _, core := range chip.cores {
+			for ci := 0; ci < core.active; ci++ {
+				ctx := core.contexts[ci]
+				if idx < len(sources) {
+					ctx.reset(sources[idx])
+					m.threadCtx[idx] = ctx
+					idx++
+				} else {
+					ctx.reset(nil)
+				}
+			}
+			// Contexts beyond the SMT level hold no thread.
+			for ci := core.active; ci < len(core.contexts); ci++ {
+				core.contexts[ci].reset(nil)
+			}
+		}
+	}
+
+	remaining := len(sources)
+	start := m.now
+	deadline := start + maxCycles
+	for remaining > 0 {
+		if m.now >= deadline {
+			return m.now - start, ErrCycleLimit
+		}
+		busy := false
+		for _, chip := range m.chips {
+			for _, core := range chip.cores {
+				core.stepRetire(m.now)
+				core.stepIssue(m.now)
+				core.stepDispatch(m.now)
+				core.stepFetch(m.now)
+				remaining -= core.endCycle(m.now)
+				if !busy && core.anyBusy() {
+					busy = true
+				}
+			}
+		}
+		if remaining == 0 {
+			m.now++
+			break
+		}
+		if !busy {
+			// Everyone is asleep: skip to the earliest wake hint.
+			m.now = m.idleSkip(m.now, deadline)
+			continue
+		}
+		m.now++
+	}
+	return m.now - start, nil
+}
+
+// idleSkip advances the clock past a fully idle stretch using the sources'
+// wake hints; without hints it advances one cycle.
+func (m *Machine) idleSkip(now, deadline int64) int64 {
+	next := int64(-1)
+	for _, ctx := range m.threadCtx {
+		if ctx == nil || ctx.finished || ctx.src == nil {
+			continue
+		}
+		w, ok := ctx.src.(Waker)
+		if !ok {
+			return now + 1
+		}
+		h := w.WakeHint(now)
+		if h <= now {
+			return now + 1
+		}
+		if next < 0 || h < next {
+			next = h
+		}
+	}
+	if next < 0 || next <= now {
+		return now + 1
+	}
+	if next > deadline {
+		next = deadline
+	}
+	return next
+}
+
+// Now returns the machine clock.
+func (m *Machine) Now() int64 { return m.now }
+
+// Counters captures a machine-wide cumulative counter snapshot. ThreadBusy
+// is indexed by the thread order of the most recent Run.
+func (m *Machine) Counters() counters.Snapshot {
+	active := m.activeCores
+	if active == 0 {
+		active = m.NumCores()
+	}
+	s := counters.Snapshot{
+		WallCycles:   m.now,
+		ActiveCores:  active,
+		SMTLevel:     m.smtLevel,
+		CoreCycles:   uint64(m.now) * uint64(active),
+		IssuedByPort: make([]uint64, m.desc.NumPorts),
+	}
+	for _, chip := range m.chips {
+		s.DramLines += chip.dram.Lines
+		s.DramStall += chip.dram.StallCycles
+		for _, core := range chip.cores {
+			s.DispHeldCycles += core.dispHeldCycles
+			s.Retired += core.retired
+			for c := range core.retiredByClass {
+				s.RetiredByClass[c] += core.retiredByClass[c]
+			}
+			for p := range core.issuedByPort {
+				s.IssuedByPort[p] += core.issuedByPort[p]
+			}
+			for l := range core.hitsByLevel {
+				s.HitsByLevel[l] += core.hitsByLevel[l]
+			}
+			s.BranchLookups += core.pred.Lookups
+			s.BranchMispredicts += core.pred.Mispredicts
+		}
+	}
+	s.ThreadBusy = make([]int64, len(m.threadCtx))
+	for i, ctx := range m.threadCtx {
+		if ctx != nil {
+			s.ThreadBusy[i] = ctx.busyCycles
+		}
+	}
+	return s
+}

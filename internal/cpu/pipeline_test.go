@@ -1,0 +1,92 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+)
+
+// fixedStream emits n instructions of one class with a fixed dependency
+// distance (0 = independent).
+type fixedStream struct {
+	n     int64
+	class isa.Class
+	dep   uint8
+	addr  uint64
+	step  uint64
+	mask  uint64 // wraps the address walk (0 = unbounded)
+}
+
+func (f *fixedStream) Fetch(now int64, out *isa.Inst) isa.FetchStatus {
+	if f.n <= 0 {
+		return isa.FetchDone
+	}
+	f.n--
+	f.addr += f.step
+	if f.mask != 0 {
+		f.addr &= f.mask
+	}
+	*out = isa.Inst{Class: f.class, Dep1: f.dep, Addr: f.addr}
+	return isa.FetchOK
+}
+
+// runOne runs a single stream on one core of a 1-chip machine at SMT1 and
+// returns (instructions, cycles).
+func runOne(t *testing.T, d *arch.Desc, src isa.Source) (uint64, int64) {
+	t.Helper()
+	m, err := NewMachine(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetSMTLevel(1); err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]isa.Source, 1)
+	srcs[0] = src
+	wall, err := m.Run(srcs, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Counters()
+	return s.Retired, wall
+}
+
+func ipcOf(t *testing.T, d *arch.Desc, src isa.Source) float64 {
+	n, w := runOne(t, d, src)
+	return float64(n) / float64(w)
+}
+
+func TestSerialIntChainIPC(t *testing.T) {
+	// A fully serial chain of 1-cycle integer ops should run at IPC ~1.
+	ipc := ipcOf(t, arch.POWER7(), &fixedStream{n: 50_000, class: isa.Int, dep: 1})
+	if ipc < 0.85 || ipc > 1.05 {
+		t.Fatalf("serial int chain IPC = %.3f, want ~1.0", ipc)
+	}
+}
+
+func TestSerialFPChainIPC(t *testing.T) {
+	// A serial FP chain should run at IPC ~1/latency.
+	d := arch.POWER7()
+	want := 1.0 / float64(d.Latency[isa.FPVec])
+	ipc := ipcOf(t, d, &fixedStream{n: 30_000, class: isa.FPVec, dep: 1})
+	if ipc < want*0.8 || ipc > want*1.15 {
+		t.Fatalf("serial FP chain IPC = %.3f, want ~%.3f", ipc, want)
+	}
+}
+
+func TestIndependentIntIPC(t *testing.T) {
+	// Independent int ops: POWER7 has 2 FX ports, so IPC should be ~2.
+	ipc := ipcOf(t, arch.POWER7(), &fixedStream{n: 100_000, class: isa.Int})
+	if ipc < 1.8 || ipc > 2.05 {
+		t.Fatalf("independent int IPC = %.3f, want ~2.0", ipc)
+	}
+}
+
+func TestIndependentLoadsL1IPC(t *testing.T) {
+	// Independent L1-resident loads (8 KiB footprint): 2 LS ports -> IPC ~2.
+	ipc := ipcOf(t, arch.POWER7(), &fixedStream{n: 100_000, class: isa.Load, step: 8, mask: 8<<10 - 1})
+	if ipc < 1.7 || ipc > 2.05 {
+		t.Fatalf("independent load IPC = %.3f, want ~2.0", ipc)
+	}
+}

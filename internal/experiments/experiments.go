@@ -1,0 +1,241 @@
+// Package experiments reproduces the paper's evaluation: it runs the
+// benchmark suite over the simulated systems at every SMT level and
+// regenerates each table and figure of the paper (Table I, Figs. 1-2, 6-17).
+//
+// A Matrix caches one simulation per (benchmark, SMT level) cell of a
+// system, so figures that share data (e.g. Figs. 6, 8 and 9 all need the
+// POWER7 runs at SMT1/2/4) reuse the same runs, exactly as the paper's
+// tables are all cut from one measurement campaign.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/counters"
+	"repro/internal/cpu"
+	"repro/internal/smtsm"
+	"repro/internal/workload"
+)
+
+// System is one machine configuration of the paper's methodology section.
+type System struct {
+	// Name labels the system in reports.
+	Name string
+	// Arch constructs the architecture description.
+	Arch func() *arch.Desc
+	// Chips is the package count (the paper uses one and two POWER7
+	// chips, one Nehalem chip).
+	Chips int
+}
+
+// The three systems of the paper's experimental methodology.
+var (
+	// P7OneChip is the AIX instance on one 8-core POWER7 chip.
+	P7OneChip = System{Name: "POWER7-8core", Arch: arch.POWER7, Chips: 1}
+	// P7TwoChip is the AIX instance on two 8-core POWER7 chips.
+	P7TwoChip = System{Name: "POWER7-16core", Arch: arch.POWER7, Chips: 2}
+	// I7OneChip is the Linux instance on the quad-core Core i7.
+	I7OneChip = System{Name: "Corei7-4core", Arch: arch.Nehalem, Chips: 1}
+)
+
+// Cell is the result of one benchmark run at one SMT level.
+type Cell struct {
+	Bench string
+	SMT   int
+	// Wall is the run's wall-clock cycles for the workload's fixed amount
+	// of work.
+	Wall int64
+	// Snap holds the run's performance counters.
+	Snap counters.Snapshot
+	// Metric is the SMT-selection metric evaluated on this run.
+	Metric smtsm.Breakdown
+	// Err records a failed run (cycle-limit).
+	Err error
+}
+
+// DefaultSeed is the workload seed used throughout the reproduction.
+const DefaultSeed = 42
+
+// MaxRunCycles bounds a single benchmark run.
+const MaxRunCycles = 400_000_000
+
+// Matrix runs and caches benchmark × SMT-level cells for one system.
+type Matrix struct {
+	Sys  System
+	Seed uint64
+
+	mu    sync.Mutex
+	cells map[string]*Cell
+	// archDesc is a cached description for metric evaluation.
+	archDesc *arch.Desc
+}
+
+// NewMatrix builds an empty run matrix for a system.
+func NewMatrix(sys System, seed uint64) *Matrix {
+	return &Matrix{Sys: sys, Seed: seed, cells: map[string]*Cell{}, archDesc: sys.Arch()}
+}
+
+// Arch returns the system's architecture description.
+func (m *Matrix) Arch() *arch.Desc { return m.archDesc }
+
+func cellKey(bench string, smt int) string { return fmt.Sprintf("%s@%d", bench, smt) }
+
+// Cell returns the cached result for (bench, smt), running the simulation on
+// first use. It is safe for concurrent use; distinct cells may compute in
+// parallel.
+func (m *Matrix) Cell(bench string, smt int) *Cell {
+	key := cellKey(bench, smt)
+	m.mu.Lock()
+	if c, ok := m.cells[key]; ok {
+		m.mu.Unlock()
+		return c
+	}
+	m.mu.Unlock()
+
+	c := m.run(bench, smt)
+
+	m.mu.Lock()
+	// Another goroutine may have raced us; keep the first result (both are
+	// deterministic and identical anyway).
+	if prev, ok := m.cells[key]; ok {
+		c = prev
+	} else {
+		m.cells[key] = c
+	}
+	m.mu.Unlock()
+	return c
+}
+
+// run executes one cell: a fresh machine, cold caches, the workload
+// instantiated with one software thread per hardware thread (the paper's
+// methodology), run to completion.
+func (m *Matrix) run(bench string, smt int) *Cell {
+	c := &Cell{Bench: bench, SMT: smt}
+	spec, err := workload.Get(bench)
+	if err != nil {
+		c.Err = err
+		return c
+	}
+	mach, err := cpu.NewMachine(m.Sys.Arch(), m.Sys.Chips)
+	if err != nil {
+		c.Err = err
+		return c
+	}
+	if err := mach.SetSMTLevel(smt); err != nil {
+		c.Err = err
+		return c
+	}
+	inst, err := workload.Instantiate(spec, mach.HardwareThreads(), m.Seed)
+	if err != nil {
+		c.Err = err
+		return c
+	}
+	c.Wall, c.Err = mach.Run(inst.Sources(), MaxRunCycles)
+	c.Snap = mach.Counters()
+	c.Metric = smtsm.Compute(m.archDesc, &c.Snap)
+	return c
+}
+
+// Speedup returns wall(smtLow)/wall(smtHigh) for a benchmark: >1 means the
+// higher SMT level wins.
+func (m *Matrix) Speedup(bench string, smtHigh, smtLow int) float64 {
+	hi := m.Cell(bench, smtHigh)
+	lo := m.Cell(bench, smtLow)
+	if hi.Err != nil || lo.Err != nil || hi.Wall == 0 {
+		return 0
+	}
+	return float64(lo.Wall) / float64(hi.Wall)
+}
+
+// Prefetch computes the given cells using up to workers goroutines
+// (defaulting to GOMAXPROCS). Each cell's simulation is single-threaded and
+// deterministic; only distinct cells run concurrently.
+func (m *Matrix) Prefetch(benches []string, smts []int, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		bench string
+		smt   int
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				m.Cell(j.bench, j.smt)
+			}
+		}()
+	}
+	for _, b := range benches {
+		for _, s := range smts {
+			jobs <- job{b, s}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// Benchmark lists, per figure, transcribed from the paper's figure labels.
+var (
+	// P7Benchmarks is the single-chip POWER7 set (Figs. 2, 6, 8, 9).
+	P7Benchmarks = []string{
+		"Ammp", "Applu", "Apsi", "Equake", "Fma3d", "Gafort", "Mgrid", "Swim",
+		"Wupwise", "Blackscholes", "BT", "CG_MPI", "Dedup", "EP", "EP_MPI",
+		"Fluidanimate", "FT_MPI", "IS", "IS_MPI", "LU_MPI", "MG", "MG_MPI",
+		"SSCA2", "Stream", "Streamcluster", "SPECjbb", "SPECjbb_contention",
+		"Daytrader",
+	}
+	// Fig11Benchmarks is the Fig. 11 label set (no Daytrader).
+	Fig11Benchmarks = []string{
+		"Ammp", "Applu", "Apsi", "Equake", "Fma3d", "Gafort", "Mgrid", "Swim",
+		"Wupwise", "Blackscholes", "BT", "CG_MPI", "Dedup", "EP", "EP_MPI",
+		"Fluidanimate", "FT_MPI", "IS", "IS_MPI", "LU_MPI", "MG", "MG_MPI",
+		"SSCA2", "Stream", "Streamcluster", "SPECjbb", "SPECjbb_contention",
+	}
+	// I7Benchmarks is the Fig. 10 Nehalem set.
+	I7Benchmarks = []string{
+		"blackscholes_pthreads", "Bodytrack", "bodytrack_pthreads", "BT", "CG",
+		"Dedup", "EP", "Facesim", "Ferret", "Fluidanimate", "Freqmine", "FT",
+		"LU", "Raytrace", "SP", "Streamcluster", "Swaptions", "UA", "Vips",
+		"SSCA2", "x264",
+	}
+	// Fig12Benchmarks is the Fig. 12 Nehalem set (metric at SMT1).
+	Fig12Benchmarks = []string{
+		"Bodytrack", "bodytrack_pthreads", "BT", "Canneal", "CG", "Dedup",
+		"EP", "Facesim", "Fluidanimate", "Freqmine", "FT", "LU", "Raytrace",
+		"SP", "Streamcluster", "Swaptions", "UA",
+	}
+	// Fig13Benchmarks is the two-chip POWER7 SMT4/SMT1 set.
+	Fig13Benchmarks = []string{
+		"EP", "BT", "MG", "IS", "Dedup", "Fluidanimate", "Blackscholes",
+		"SSCA2", "Streamcluster", "Stream", "SPECjbb_contention", "SPECjbb",
+		"CG_MPI", "FT_MPI", "EP_MPI", "IS_MPI", "Ammp", "Applu", "Apsi",
+		"Equake", "Fma3d", "Gafort", "Mgrid", "Swim", "Wupwise",
+	}
+	// Fig14Benchmarks is the two-chip POWER7 SMT4/SMT2 set.
+	Fig14Benchmarks = []string{
+		"EP", "BT", "MG", "IS", "Dedup", "Fluidanimate", "Blackscholes",
+		"SSCA2", "Streamcluster", "Stream", "SPECjbb_contention", "CG_MPI",
+		"EP_MPI", "MG_MPI", "Ammp", "Applu", "Apsi", "Equake", "Fma3d",
+		"Gafort", "Mgrid", "Swim", "Wupwise",
+	}
+	// Fig15Benchmarks is the two-chip POWER7 SMT2/SMT1 set.
+	Fig15Benchmarks = []string{
+		"Blackscholes", "BT", "CG_MPI", "Dedup", "EP", "EP_MPI",
+		"Fluidanimate", "FT_MPI", "IS", "IS_MPI", "LU_MPI", "MG", "MG_MPI",
+		"SSCA2", "Stream", "Streamcluster", "Ammp", "Applu", "Apsi", "Equake",
+		"Fma3d", "Gafort", "Mgrid", "Swim", "Wupwise", "SPECjbb_contention",
+		"SPECjbb",
+	}
+	// Fig1Benchmarks are the three motivating examples of Fig. 1.
+	Fig1Benchmarks = []string{"Equake", "MG", "EP"}
+	// Fig7Benchmarks are the five instruction-mix examples of Fig. 7,
+	// ordered by decreasing SMT4/SMT1 speedup as in the paper.
+	Fig7Benchmarks = []string{"Blackscholes", "Fluidanimate", "Dedup", "SSCA2", "SPECjbb_contention"}
+)

@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/threshold"
+)
+
+// FigPoint is one benchmark's position in a metric-vs-speedup figure.
+type FigPoint struct {
+	Bench   string
+	Metric  float64
+	Speedup float64
+}
+
+// FigResult is the reproduced data behind one of the paper's
+// metric-vs-speedup scatter figures (Figs. 6, 8-15).
+type FigResult struct {
+	// ID and Title identify the figure ("fig6", ...).
+	ID, Title string
+	// MetricAt and SpeedupOf describe the axes: the SMT level the metric
+	// was measured at and the speedup pair (high over low).
+	MetricAt             int
+	SpeedupHi, SpeedupLo int
+	Points               []FigPoint
+
+	// Threshold is the orientation-aware accuracy-optimal threshold (small
+	// metric ⇒ prefer the higher SMT level); Accuracy is the success rate
+	// at it and Misclassified the benchmarks it gets wrong.
+	Threshold     float64
+	Accuracy      float64
+	Misclassified []string
+
+	// GiniLo..GiniHi bound the separator range minimising raw Gini
+	// impurity (the paper's Sec. V-A procedure, plotted in Fig. 16), with
+	// MinImpurity its value.
+	GiniLo, GiniHi float64
+	MinImpurity    float64
+
+	// Spearman is the rank correlation between metric and speedup: a
+	// working metric is strongly negative (high metric ⇒ low speedup); at
+	// the wrong measurement level it collapses toward zero (Figs. 11-12).
+	Spearman float64
+
+	// AmbiguousLo and AmbiguousHi bound the metric band inside which both
+	// preferences occur — the paper's Fig. 9 observation that between two
+	// metric values "it is not possible to predict the application's SMT
+	// preference". The band is empty (Lo > Hi) when the classes separate
+	// perfectly.
+	AmbiguousLo, AmbiguousHi float64
+}
+
+// scatter builds a metric-vs-speedup figure from a matrix.
+func scatter(m *Matrix, id, title string, benches []string, metricAt, hi, lo int) FigResult {
+	r := FigResult{ID: id, Title: title, MetricAt: metricAt, SpeedupHi: hi, SpeedupLo: lo}
+	var pts []threshold.Point
+	for _, b := range benches {
+		cell := m.Cell(b, metricAt)
+		if cell.Err != nil {
+			continue
+		}
+		sp := m.Speedup(b, hi, lo)
+		if sp <= 0 {
+			continue
+		}
+		p := FigPoint{Bench: b, Metric: cell.Metric.Value, Speedup: sp}
+		r.Points = append(r.Points, p)
+		pts = append(pts, threshold.Point{Metric: p.Metric, Speedup: p.Speedup, Label: b})
+	}
+	if th, acc, mis, err := threshold.BestAccuracySplit(pts); err == nil {
+		r.Threshold = th
+		r.Accuracy = acc
+		r.Misclassified = mis
+	}
+	if g, err := threshold.GiniSearch(pts); err == nil {
+		r.GiniLo, r.GiniHi = g.Lo, g.Hi
+		r.MinImpurity = g.MinImpurity
+	}
+	var ms, sps []float64
+	for _, p := range r.Points {
+		ms = append(ms, p.Metric)
+		sps = append(sps, p.Speedup)
+	}
+	r.Spearman, _ = stats.Spearman(ms, sps)
+	// The ambiguous band: metrics between the smallest loser and the
+	// largest winner cannot be classified by any single threshold.
+	minBad, maxGood := 0.0, 0.0
+	haveBad, haveGood := false, false
+	for _, p := range r.Points {
+		if p.Speedup >= 1 {
+			if !haveGood || p.Metric > maxGood {
+				maxGood = p.Metric
+			}
+			haveGood = true
+		} else {
+			if !haveBad || p.Metric < minBad {
+				minBad = p.Metric
+			}
+			haveBad = true
+		}
+	}
+	if haveBad && haveGood && minBad < maxGood {
+		r.AmbiguousLo, r.AmbiguousHi = minBad, maxGood
+	} else {
+		r.AmbiguousLo, r.AmbiguousHi = 1, 0 // empty band
+	}
+	return r
+}
+
+// Fig6 reproduces Fig. 6: SMT4/SMT1 speedup vs SMTsm@SMT4 on one POWER7
+// chip — the paper's headline result (93% prediction success).
+func Fig6(m *Matrix) FigResult {
+	return scatter(m, "fig6", "SMT4/SMT1 speedup vs metric @SMT4 (POWER7, 1 chip)",
+		P7Benchmarks, 4, 4, 1)
+}
+
+// Fig8 reproduces Fig. 8: SMT4/SMT2 speedup vs SMTsm@SMT4.
+func Fig8(m *Matrix) FigResult {
+	return scatter(m, "fig8", "SMT4/SMT2 speedup vs metric @SMT4 (POWER7, 1 chip)",
+		P7Benchmarks, 4, 4, 2)
+}
+
+// Fig9 reproduces Fig. 9: SMT2/SMT1 speedup vs SMTsm@SMT2, where the paper
+// finds a band of metric values in which no prediction is possible.
+func Fig9(m *Matrix) FigResult {
+	return scatter(m, "fig9", "SMT2/SMT1 speedup vs metric @SMT2 (POWER7, 1 chip)",
+		P7Benchmarks, 2, 2, 1)
+}
+
+// Fig10 reproduces Fig. 10: SMT2/SMT1 speedup vs SMTsm@SMT2 on the Nehalem
+// system (86% success; Streamcluster is the expected outlier).
+func Fig10(m *Matrix) FigResult {
+	return scatter(m, "fig10", "SMT2/SMT1 speedup vs metric @SMT2 (Core i7)",
+		I7Benchmarks, 2, 2, 1)
+}
+
+// Fig11 reproduces Fig. 11: the metric measured at SMT1 fails to predict the
+// SMT4/SMT1 speedup (POWER7).
+func Fig11(m *Matrix) FigResult {
+	return scatter(m, "fig11", "SMT4/SMT1 speedup vs metric @SMT1 (POWER7, 1 chip)",
+		Fig11Benchmarks, 1, 4, 1)
+}
+
+// Fig12 reproduces Fig. 12: the metric measured at SMT1 fails on Nehalem
+// too.
+func Fig12(m *Matrix) FigResult {
+	return scatter(m, "fig12", "SMT2/SMT1 speedup vs metric @SMT1 (Core i7)",
+		Fig12Benchmarks, 1, 2, 1)
+}
+
+// Fig13 reproduces Fig. 13: SMT4/SMT1 vs SMTsm@SMT4 on two chips (16 cores):
+// more mispredictions and more SMT1-preferring applications than Fig. 6.
+func Fig13(m *Matrix) FigResult {
+	return scatter(m, "fig13", "SMT4/SMT1 speedup vs metric @SMT4 (POWER7, 2 chips)",
+		Fig13Benchmarks, 4, 4, 1)
+}
+
+// Fig14 reproduces Fig. 14: SMT4/SMT2 vs SMTsm@SMT4 on two chips.
+func Fig14(m *Matrix) FigResult {
+	return scatter(m, "fig14", "SMT4/SMT2 speedup vs metric @SMT4 (POWER7, 2 chips)",
+		Fig14Benchmarks, 4, 4, 2)
+}
+
+// Fig15 reproduces Fig. 15: SMT2/SMT1 vs SMTsm@SMT2 on two chips
+// (prediction ineffective, as in the single-chip case).
+func Fig15(m *Matrix) FigResult {
+	return scatter(m, "fig15", "SMT2/SMT1 speedup vs metric @SMT2 (POWER7, 2 chips)",
+		Fig15Benchmarks, 2, 2, 1)
+}
+
+// Fig1Result is the data behind Fig. 1: per-benchmark performance at the
+// architecture's deepest SMT level normalised to SMT1.
+type Fig1Result struct {
+	Benches    []string
+	Normalized []float64 // wall(SMT1)/wall(SMT4)
+}
+
+// Fig1 reproduces Fig. 1: Equake degrades, MG is indifferent, EP gains.
+func Fig1(m *Matrix) Fig1Result {
+	r := Fig1Result{}
+	for _, b := range Fig1Benchmarks {
+		r.Benches = append(r.Benches, b)
+		r.Normalized = append(r.Normalized, m.Speedup(b, 4, 1))
+	}
+	return r
+}
+
+// Fig2Row is one benchmark's naïve single-number statistics measured at
+// SMT1, against its SMT4/SMT1 speedup.
+type Fig2Row struct {
+	Bench    string
+	L1MPKI   float64
+	CPI      float64
+	BrMPKI   float64
+	VSUShare float64 // % of instructions on the FP/vector pipes
+	Speedup  float64
+}
+
+// Fig2Result carries the four panels of Fig. 2 plus the correlation
+// coefficients demonstrating the paper's point: none of the naïve metrics
+// correlates with SMT speedup.
+type Fig2Result struct {
+	Rows []Fig2Row
+	// Correlations are Pearson r of speedup against each statistic, in
+	// the order L1MPKI, CPI, BrMPKI, VSUShare.
+	Correlations [4]float64
+}
+
+// Fig2 reproduces Fig. 2's scatter panels.
+func Fig2(m *Matrix) Fig2Result {
+	return fig2Subset(m, P7Benchmarks)
+}
+
+// fig2Subset computes the Fig. 2 statistics over a benchmark subset.
+func fig2Subset(m *Matrix, benches []string) Fig2Result {
+	var r Fig2Result
+	var sp, l1, cpi, br, vsu []float64
+	for _, b := range benches {
+		c := m.Cell(b, 1)
+		if c.Err != nil {
+			continue
+		}
+		row := Fig2Row{
+			Bench:    b,
+			L1MPKI:   c.Snap.MissesPerKilo(mem.LevelL1),
+			CPI:      c.Snap.CPI(),
+			BrMPKI:   c.Snap.BranchMPKI(),
+			VSUShare: 100 * c.Snap.ClassFraction(isa.FPVec, isa.FPDiv),
+			Speedup:  m.Speedup(b, 4, 1),
+		}
+		r.Rows = append(r.Rows, row)
+		sp = append(sp, row.Speedup)
+		l1 = append(l1, row.L1MPKI)
+		cpi = append(cpi, row.CPI)
+		br = append(br, row.BrMPKI)
+		vsu = append(vsu, row.VSUShare)
+	}
+	for i, xs := range [][]float64{l1, cpi, br, vsu} {
+		r.Correlations[i], _ = stats.Pearson(xs, sp)
+	}
+	return r
+}
+
+// Fig7Row is one benchmark's observed instruction mix at SMT4.
+type Fig7Row struct {
+	Bench                             string
+	Loads, Stores, Branches, FXU, VSU float64 // percent
+	Speedup                           float64 // SMT4/SMT1
+}
+
+// Fig7 reproduces Fig. 7: the instruction mixes of five representative
+// benchmarks, ordered by decreasing SMT4/SMT1 speedup, against the ideal
+// POWER7 SMT mix.
+func Fig7(m *Matrix) []Fig7Row {
+	var rows []Fig7Row
+	for _, b := range Fig7Benchmarks {
+		c := m.Cell(b, 4)
+		if c.Err != nil {
+			continue
+		}
+		rows = append(rows, Fig7Row{
+			Bench:    b,
+			Loads:    100 * c.Snap.ClassFraction(isa.Load),
+			Stores:   100 * c.Snap.ClassFraction(isa.Store),
+			Branches: 100 * c.Snap.ClassFraction(isa.Branch),
+			FXU:      100 * c.Snap.ClassFraction(isa.Int, isa.IntMul),
+			VSU:      100 * c.Snap.ClassFraction(isa.FPVec, isa.FPDiv),
+			Speedup:  m.Speedup(b, 4, 1),
+		})
+	}
+	// The ideal POWER7 SMT mix, as the paper's right-most bar.
+	rows = append(rows, Fig7Row{
+		Bench: "idealP7SMTmix",
+		Loads: 100.0 / 7, Stores: 100.0 / 7, Branches: 100.0 / 7,
+		FXU: 200.0 / 7, VSU: 200.0 / 7,
+	})
+	return rows
+}
+
+// Fig16 reproduces Fig. 16: the Gini-impurity curve over candidate
+// separators for the Fig. 6 data.
+func Fig16(m *Matrix) (threshold.GiniResult, error) {
+	return threshold.GiniSearch(figPoints(Fig6(m)))
+}
+
+// Fig17 reproduces Fig. 17: the average-PPI curve over candidate thresholds
+// for the Fig. 6 data.
+func Fig17(m *Matrix) (threshold.PPIResult, error) {
+	return threshold.PPISearch(figPoints(Fig6(m)))
+}
+
+// figPoints converts figure points to threshold observations.
+func figPoints(r FigResult) []threshold.Point {
+	pts := make([]threshold.Point, 0, len(r.Points))
+	for _, p := range r.Points {
+		pts = append(pts, threshold.Point{Metric: p.Metric, Speedup: p.Speedup, Label: p.Bench})
+	}
+	return pts
+}
+
+// CellsFor returns the (bench, level) cells a figure needs, for prefetching.
+func CellsFor(fig string) (benches []string, levels []int, sys System, err error) {
+	switch fig {
+	case "1", "2", "6", "8", "9", "16", "17", "7":
+		return P7Benchmarks, []int{1, 2, 4}, P7OneChip, nil
+	case "11":
+		return Fig11Benchmarks, []int{1, 4}, P7OneChip, nil
+	case "10":
+		return I7Benchmarks, []int{1, 2}, I7OneChip, nil
+	case "12":
+		return Fig12Benchmarks, []int{1, 2}, I7OneChip, nil
+	case "13":
+		return Fig13Benchmarks, []int{1, 4}, P7TwoChip, nil
+	case "14":
+		return Fig14Benchmarks, []int{2, 4}, P7TwoChip, nil
+	case "15":
+		return Fig15Benchmarks, []int{1, 2}, P7TwoChip, nil
+	default:
+		return nil, nil, System{}, fmt.Errorf("experiments: unknown figure %q", fig)
+	}
+}

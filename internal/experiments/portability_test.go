@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+func TestSMT8SystemValid(t *testing.T) {
+	d := SMT8OneChip.Arch()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxSMT != 8 || !d.SupportsSMT(8) {
+		t.Fatal("SMT8 model must expose SMT8")
+	}
+}
+
+func TestPortabilityBenchmarksResolve(t *testing.T) {
+	for _, b := range PortabilityBenchmarks {
+		if _, _, _, err := CellsFor("6"); err != nil { // sanity on helper
+			t.Fatal(err)
+		}
+		if b == "" {
+			t.Fatal("empty benchmark name")
+		}
+	}
+}
+
+func TestPortabilityStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed test")
+	}
+	m := NewMatrix(SMT8OneChip, DefaultSeed)
+	// A reduced set keeps this test to tens of seconds.
+	res := scatter(m, "smt8-subset", "subset",
+		[]string{"EP", "Blackscholes", "Stream", "SPECjbb_contention", "SSCA2", "Swim"}, 8, 8, 1)
+	if len(res.Points) != 6 {
+		t.Fatalf("%d points, want 6", len(res.Points))
+	}
+	if res.Accuracy < 0.8 {
+		t.Fatalf("SMT8 portability success rate %.2f, want >= 0.8", res.Accuracy)
+	}
+}

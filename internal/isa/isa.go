@@ -1,0 +1,143 @@
+// Package isa defines the abstract instruction set shared by the workload
+// generators and the core simulator. Workloads emit instructions in terms of
+// architecture-independent classes (Load, Store, Branch, Int, FPVec); the
+// architecture description (internal/arch) maps each class onto the concrete
+// issue ports of the simulated core.
+//
+// The package also defines the fetch protocol between a hardware context and
+// its instruction source: a source may deliver an instruction, report that
+// the software thread is idle (sleeping on a lock, barrier or I/O), or report
+// that the thread has finished its work.
+package isa
+
+import "fmt"
+
+// Class is an architecture-independent instruction class. The simulator's
+// architecture description maps a Class to the set of issue ports that can
+// execute it and to its execution latency.
+type Class uint8
+
+const (
+	// Load reads memory; its latency is determined by the cache hierarchy.
+	Load Class = iota
+	// Store writes memory through the store queue; it occupies a
+	// load/store issue slot (and on Nehalem both store ports) but does not
+	// stall dependents.
+	Store
+	// Branch is a conditional or unconditional branch. Mispredictions
+	// squash younger instructions and stall fetch until resolution.
+	Branch
+	// Int is fixed-point arithmetic or logic (single-cycle ALU work).
+	Int
+	// IntMul is long-latency integer work (multiply, divide, CRC-style
+	// loops); on Nehalem it is restricted to the complex-integer port.
+	IntMul
+	// FPVec is floating-point or vector arithmetic (FPU/VSU pipelines).
+	FPVec
+	// FPDiv is long-latency floating-point work (divide, sqrt).
+	FPDiv
+	// NumClasses is the count of real instruction classes.
+	NumClasses
+)
+
+// String returns the conventional short name of the class.
+func (c Class) String() string {
+	switch c {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	case Int:
+		return "int"
+	case IntMul:
+		return "intmul"
+	case FPVec:
+		return "fpvec"
+	case FPDiv:
+		return "fpdiv"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c is one of the defined instruction classes.
+func (c Class) Valid() bool { return c < NumClasses }
+
+// IsMemory reports whether the class accesses the data cache.
+func (c Class) IsMemory() bool { return c == Load || c == Store }
+
+// MaxDepDistance bounds how far back an instruction's register dependencies
+// may reach within its own thread's dynamic stream. It must not exceed the
+// simulator's per-context history window.
+const MaxDepDistance = 63
+
+// Inst is one dynamic instruction. It is kept small and flat because the
+// simulator moves millions of them through ring buffers.
+type Inst struct {
+	// Addr is the effective address for Load/Store classes and the
+	// (synthetic) branch PC for Branch instructions.
+	Addr uint64
+	// Dep1 and Dep2 are register dependencies expressed as backward
+	// distances in the same thread's dynamic instruction stream
+	// (1 = previous instruction). Zero means no dependency. Values are
+	// clamped to MaxDepDistance by generators.
+	Dep1, Dep2 uint8
+	// Class selects the instruction's execution resources.
+	Class Class
+	// Taken is the actual outcome of a Branch instruction; the branch
+	// predictor decides whether it was predicted correctly.
+	Taken bool
+	// SharedAddr marks a memory access to a data region shared between
+	// threads (affects which cache slice warms, and models coherence-ish
+	// reuse); private accesses go to per-thread regions.
+	SharedAddr bool
+}
+
+// FetchStatus is the result of asking an instruction source for work.
+type FetchStatus uint8
+
+const (
+	// FetchOK means an instruction was produced.
+	FetchOK FetchStatus = iota
+	// FetchIdle means the software thread is alive but has nothing to
+	// execute this cycle (sleeping on a blocking lock, a barrier, I/O, or
+	// an OS wait). The hardware context burns no resources and accrues no
+	// CPU time.
+	FetchIdle
+	// FetchDone means the software thread has retired all of its work.
+	FetchDone
+)
+
+// String returns a short name for the status.
+func (s FetchStatus) String() string {
+	switch s {
+	case FetchOK:
+		return "ok"
+	case FetchIdle:
+		return "idle"
+	case FetchDone:
+		return "done"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Source produces the dynamic instruction stream of one software thread.
+// Fetch is called by the hardware context that the thread is placed on, with
+// the current simulated cycle; implementations use the cycle for sleep
+// wake-ups and for lock hand-off ordering.
+//
+// Fetch must be deterministic: the same Source, fetched at the same sequence
+// of cycles, must yield the same stream.
+type Source interface {
+	Fetch(now int64, out *Inst) FetchStatus
+}
+
+// Done is a Source that is already finished. It is useful as a placeholder
+// for hardware contexts with no software thread.
+type Done struct{}
+
+// Fetch always reports FetchDone.
+func (Done) Fetch(now int64, out *Inst) FetchStatus { return FetchDone }

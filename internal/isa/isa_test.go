@@ -1,0 +1,82 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		Load: "load", Store: "store", Branch: "branch", Int: "int",
+		IntMul: "intmul", FPVec: "fpvec", FPDiv: "fpdiv",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if !strings.Contains(Class(200).String(), "200") {
+		t.Error("unknown class String() should include the value")
+	}
+}
+
+func TestClassValid(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if !c.Valid() {
+			t.Errorf("class %v should be valid", c)
+		}
+	}
+	if NumClasses.Valid() || Class(255).Valid() {
+		t.Error("out-of-range classes must be invalid")
+	}
+}
+
+func TestIsMemory(t *testing.T) {
+	if !Load.IsMemory() || !Store.IsMemory() {
+		t.Error("loads and stores access memory")
+	}
+	for _, c := range []Class{Branch, Int, IntMul, FPVec, FPDiv} {
+		if c.IsMemory() {
+			t.Errorf("%v must not be a memory class", c)
+		}
+	}
+}
+
+func TestFetchStatusStrings(t *testing.T) {
+	if FetchOK.String() != "ok" || FetchIdle.String() != "idle" || FetchDone.String() != "done" {
+		t.Error("fetch status strings wrong")
+	}
+	if !strings.Contains(FetchStatus(9).String(), "9") {
+		t.Error("unknown status String() should include the value")
+	}
+}
+
+func TestDoneSource(t *testing.T) {
+	var d Done
+	var in Inst
+	for i := 0; i < 3; i++ {
+		if st := d.Fetch(int64(i), &in); st != FetchDone {
+			t.Fatalf("Done.Fetch = %v, want done", st)
+		}
+	}
+}
+
+func TestMaxDepDistanceFitsUint8(t *testing.T) {
+	if MaxDepDistance > 255 {
+		t.Fatal("dependency distances must fit the Inst encoding")
+	}
+	var in Inst
+	in.Dep1 = MaxDepDistance
+	if int(in.Dep1) != MaxDepDistance {
+		t.Fatal("dep distance truncated")
+	}
+}
+
+func TestInstSize(t *testing.T) {
+	// The simulator streams millions of these; keep the struct compact.
+	var in Inst
+	if size := int(unsafe.Sizeof(in)); size > 24 {
+		t.Fatalf("Inst is %d bytes; keep it <= 24", size)
+	}
+}

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("short", "1")
+	tb.AddRow("much-longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want header + separator + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator line %q", lines[1])
+	}
+	// All rows should share the same first-column width.
+	idx := strings.Index(lines[3], "22")
+	if idx < len("much-longer-name") {
+		t.Fatalf("columns not aligned: %q", lines[3])
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.AddRow("only-one")
+	out := tb.String()
+	if !strings.Contains(out, "only-one") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("x", "f")
+	tb.AddRowf("n", 1.23456)
+	if !strings.Contains(tb.String(), "1.235") {
+		t.Fatalf("float not formatted: %s", tb.String())
+	}
+}
+
+func TestScatterBasics(t *testing.T) {
+	sc := Scatter{
+		Title: "test plot", XLabel: "x", YLabel: "y",
+		Width: 40, Height: 10,
+		Threshold: 0.5, BreakEvenY: 1,
+		Points: []ScatterPoint{
+			{X: 0.1, Y: 2.0}, {X: 0.9, Y: 0.5}, {X: 0.5, Y: 1.0},
+		},
+	}
+	out := sc.String()
+	if !strings.Contains(out, "test plot") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no points plotted")
+	}
+	if !strings.Contains(out, "|") {
+		t.Fatal("threshold line missing")
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatal("break-even line missing")
+	}
+	if !strings.Contains(out, "threshold at 0.5") {
+		t.Fatal("threshold annotation missing")
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	sc := Scatter{Title: "empty"}
+	if !strings.Contains(sc.String(), "no points") {
+		t.Fatal("empty plot not reported")
+	}
+}
+
+func TestScatterSinglePoint(t *testing.T) {
+	sc := Scatter{Points: []ScatterPoint{{X: 1, Y: 1}}}
+	out := sc.String()
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point not plotted")
+	}
+}
+
+func TestScatterDegenerateRanges(t *testing.T) {
+	// All points share coordinates: must not divide by zero.
+	sc := Scatter{Points: []ScatterPoint{{X: 2, Y: 3}, {X: 2, Y: 3}}}
+	_ = sc.String()
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("title", []string{"a", "bb"}, []float64{1, 2}, "x")
+	if !strings.Contains(out, "title") || !strings.Contains(out, "bb") {
+		t.Fatalf("bars output incomplete:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// The larger value must have more '#' characters.
+	if strings.Count(lines[2], "#") <= strings.Count(lines[1], "#") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	_ = Bars("z", []string{"a"}, []float64{0}, "")
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 0, 3) != 3 || clamp(-1, 0, 3) != 0 || clamp(2, 0, 3) != 2 {
+		t.Fatal("clamp broken")
+	}
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed checks the document parses as XML.
+func wellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, doc)
+		}
+	}
+}
+
+func TestScatterSVG(t *testing.T) {
+	sc := Scatter{
+		Title: "fig <6> & more", XLabel: "metric", YLabel: "speedup",
+		Threshold: 0.2, BreakEvenY: 1,
+		Points: []ScatterPoint{
+			{X: 0.1, Y: 2.0, Label: "EP"},
+			{X: 0.4, Y: 0.5, Label: `SPECjbb "contention"`},
+		},
+	}
+	doc := sc.SVG()
+	wellFormed(t, doc)
+	for _, want := range []string{"<svg", "circle", "threshold", "EP", "fig &lt;6&gt; &amp; more"} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestScatterSVGEmpty(t *testing.T) {
+	sc := Scatter{Title: "empty"}
+	doc := sc.SVG()
+	wellFormed(t, doc)
+	if !strings.Contains(doc, "no points") {
+		t.Fatal("empty SVG missing placeholder")
+	}
+}
+
+func TestBarsSVG(t *testing.T) {
+	doc := BarsSVG("Fig. 1", []string{"Equake", "MG", "EP"}, []float64{0.78, 0.91, 2.28}, "x")
+	wellFormed(t, doc)
+	if !strings.Contains(doc, "Equake") || !strings.Contains(doc, "rect") {
+		t.Fatal("bars SVG incomplete")
+	}
+	// Bar widths must be ordered with the values.
+	if strings.Index(doc, "EP") < 0 {
+		t.Fatal("labels missing")
+	}
+}
+
+func TestCurveSVG(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 0.3}
+	ys := []float64{0.5, 0.2, 0.3, 0.4}
+	doc := CurveSVG("gini", "threshold", "impurity", xs, ys)
+	wellFormed(t, doc)
+	if !strings.Contains(doc, "polyline") {
+		t.Fatal("curve SVG missing polyline")
+	}
+}
+
+func TestCurveSVGDegenerate(t *testing.T) {
+	doc := CurveSVG("one", "x", "y", []float64{1}, []float64{2})
+	wellFormed(t, doc)
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`<a & "b">`); got != "&lt;a &amp; &quot;b&quot;&gt;" {
+		t.Fatalf("escape = %q", got)
+	}
+}

@@ -1,0 +1,28 @@
+package smtsm
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/counters"
+	"repro/internal/isa"
+)
+
+func BenchmarkCompute(b *testing.B) {
+	d := arch.POWER7()
+	s := counters.Snapshot{
+		WallCycles: 100_000, CoreCycles: 800_000,
+		DispHeldCycles: 400_000, Retired: 1_000_000,
+		ThreadBusy: make([]int64, 32),
+	}
+	s.RetiredByClass[isa.Load] = 250_000
+	s.RetiredByClass[isa.Int] = 400_000
+	s.RetiredByClass[isa.FPVec] = 350_000
+	for i := range s.ThreadBusy {
+		s.ThreadBusy[i] = 90_000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(d, &s)
+	}
+}

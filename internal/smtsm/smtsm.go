@@ -1,0 +1,111 @@
+// Package smtsm implements the paper's SMT-selection metric (SMTsm).
+//
+// The metric is the product of three factors, all computed from a hardware
+// performance-counter snapshot (Eq. 1 of the paper):
+//
+//		SMTsm = mixDeviation × dispHeld × (totalTime / avgThreadTime)
+//
+//	  - mixDeviation is the Euclidean distance between the workload's observed
+//	    instruction mix and the architecture's ideal SMT mix — the mix that
+//	    would keep every issue port fed (Eq. 2 gives the POWER7 instance over
+//	    instruction classes; Eq. 3 the Nehalem instance over issue ports).
+//	  - dispHeld is the fraction of cycles instruction dispatch was held for
+//	    lack of execution resources; it indirectly captures limited
+//	    instruction-level parallelism and cache-miss pressure.
+//	  - totalTime/avgThreadTime is wall-clock time over mean per-thread CPU
+//	    time, exposing software scalability limits that manifest as sleeping
+//	    (blocking locks, barriers, I/O, Amdahl phases).
+//
+// Smaller values indicate greater preference for a higher SMT level.
+package smtsm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/counters"
+)
+
+// Breakdown carries the metric value together with its three factors and
+// the per-term mix observations, for reporting and for tests.
+type Breakdown struct {
+	// Value is the SMT-selection metric.
+	Value float64
+	// MixDeviation, DispHeld and Scalability are the three factors.
+	MixDeviation float64
+	DispHeld     float64
+	Scalability  float64
+	// Terms holds the observed fraction for each of the architecture's
+	// mix terms, aligned with arch.Desc.MixTerms.
+	Terms []TermObservation
+}
+
+// TermObservation is one observed mix-term fraction against its ideal.
+type TermObservation struct {
+	Name     string
+	Observed float64
+	Ideal    float64
+}
+
+// Compute evaluates the SMT-selection metric for a counter snapshot on the
+// given architecture (generic Eq. 1, instantiated by the architecture's mix
+// terms).
+func Compute(d *arch.Desc, s *counters.Snapshot) Breakdown {
+	b := Breakdown{
+		DispHeld:    s.DispHeldFraction(),
+		Scalability: s.ScalabilityRatio(),
+	}
+	sum := 0.0
+	for _, t := range d.MixTerms {
+		var obs float64
+		if len(t.Classes) > 0 {
+			obs = s.ClassFraction(t.Classes...)
+		} else {
+			obs = s.PortFraction(t.Ports...)
+		}
+		b.Terms = append(b.Terms, TermObservation{Name: t.Name, Observed: obs, Ideal: t.Ideal})
+		dev := obs - t.Ideal
+		sum += dev * dev
+	}
+	b.MixDeviation = math.Sqrt(sum)
+	b.Value = b.MixDeviation * b.DispHeld * b.Scalability
+	return b
+}
+
+// Value is a convenience wrapper returning only the metric value.
+func Value(d *arch.Desc, s *counters.Snapshot) float64 {
+	return Compute(d, s).Value
+}
+
+// MaxMixDeviation returns the largest possible mix-deviation for the
+// architecture: the distance when all instructions land in the single term
+// with the smallest ideal share. It bounds the metric's mix factor and is
+// useful for normalisation and property tests.
+func MaxMixDeviation(d *arch.Desc) float64 {
+	worst := 0.0
+	for i := range d.MixTerms {
+		sum := 0.0
+		for j, t := range d.MixTerms {
+			if i == j {
+				sum += (1 - t.Ideal) * (1 - t.Ideal)
+			} else {
+				sum += t.Ideal * t.Ideal
+			}
+		}
+		if s := math.Sqrt(sum); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// String renders the breakdown in the form used by the tools.
+func (b Breakdown) String() string {
+	s := fmt.Sprintf("SMTsm=%.4f (mixDev=%.4f × dispHeld=%.4f × scalability=%.3f)\n",
+		b.Value, b.MixDeviation, b.DispHeld, b.Scalability)
+	for _, t := range b.Terms {
+		s += fmt.Sprintf("  %-10s observed=%.3f ideal=%.3f\n", t.Name, t.Observed, t.Ideal)
+	}
+	return s
+}

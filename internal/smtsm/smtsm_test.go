@@ -1,0 +1,195 @@
+package smtsm
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/counters"
+	"repro/internal/isa"
+	"repro/internal/xrand"
+)
+
+// snapWithMix builds a snapshot with the given class mix over n retired
+// instructions, a dispatch-held fraction, and thread-busy values.
+func snapWithMix(mix map[isa.Class]float64, n uint64, dispHeld float64, wall int64, busy []int64) counters.Snapshot {
+	s := counters.Snapshot{
+		WallCycles: wall,
+		CoreCycles: uint64(wall),
+		Retired:    n,
+		ThreadBusy: busy,
+	}
+	s.DispHeldCycles = uint64(dispHeld * float64(s.CoreCycles))
+	for c, f := range mix {
+		s.RetiredByClass[c] = uint64(f * float64(n))
+	}
+	return s
+}
+
+// idealP7Mix is the paper's Eq. 2 ideal mix.
+var idealP7Mix = map[isa.Class]float64{
+	isa.Load: 1.0 / 7, isa.Store: 1.0 / 7, isa.Branch: 1.0 / 7,
+	isa.Int: 2.0 / 7, isa.FPVec: 2.0 / 7,
+}
+
+func TestIdealMixZeroDeviation(t *testing.T) {
+	d := arch.POWER7()
+	s := snapWithMix(idealP7Mix, 7_000_000, 0.5, 1000, []int64{1000})
+	b := Compute(d, &s)
+	if b.MixDeviation > 1e-6 {
+		t.Fatalf("ideal mix deviation %v, want ~0", b.MixDeviation)
+	}
+	if b.Value > 1e-6 {
+		t.Fatalf("metric %v for the ideal mix, want ~0", b.Value)
+	}
+}
+
+func TestHomogeneousMixMaxDeviation(t *testing.T) {
+	d := arch.POWER7()
+	// All loads: observed vector is (1,0,0,0,0) against the ideal.
+	s := snapWithMix(map[isa.Class]float64{isa.Load: 1}, 1000, 1, 1000, []int64{1000})
+	b := Compute(d, &s)
+	want := math.Sqrt(math.Pow(1-1.0/7, 2) + 2*math.Pow(1.0/7, 2) + 2*math.Pow(2.0/7, 2))
+	if math.Abs(b.MixDeviation-want) > 1e-9 {
+		t.Fatalf("deviation %v, want %v", b.MixDeviation, want)
+	}
+}
+
+func TestMetricIsProductOfFactors(t *testing.T) {
+	d := arch.POWER7()
+	s := snapWithMix(map[isa.Class]float64{isa.Load: 0.5, isa.Int: 0.5}, 1000, 0.4, 2000, []int64{1000})
+	b := Compute(d, &s)
+	want := b.MixDeviation * b.DispHeld * b.Scalability
+	if math.Abs(b.Value-want) > 1e-12 {
+		t.Fatalf("value %v != product %v", b.Value, want)
+	}
+	if b.Scalability != 2 {
+		t.Fatalf("scalability %v, want 2", b.Scalability)
+	}
+	if b.DispHeld != 0.4 {
+		t.Fatalf("dispHeld %v, want 0.4", b.DispHeld)
+	}
+}
+
+func TestSmallerMeansMoreSMTFriendly(t *testing.T) {
+	d := arch.POWER7()
+	good := snapWithMix(idealP7Mix, 7000, 0.1, 1000, []int64{1000})
+	bad := snapWithMix(map[isa.Class]float64{isa.FPVec: 0.9, isa.Load: 0.1}, 1000, 0.9, 2000, []int64{500})
+	if Value(d, &good) >= Value(d, &bad) {
+		t.Fatal("SMT-friendly snapshot must have the smaller metric")
+	}
+}
+
+func TestNehalemUsesPortCounts(t *testing.T) {
+	d := arch.Nehalem()
+	s := counters.Snapshot{
+		WallCycles: 1000, CoreCycles: 1000, Retired: 600,
+		DispHeldCycles: 500,
+		IssuedByPort:   []uint64{100, 100, 100, 100, 100, 100},
+		ThreadBusy:     []int64{1000},
+	}
+	b := Compute(d, &s)
+	if b.MixDeviation > 1e-9 {
+		t.Fatalf("uniform port use must have ~0 deviation, got %v", b.MixDeviation)
+	}
+	s.IssuedByPort = []uint64{600, 0, 0, 0, 0, 0}
+	b = Compute(d, &s)
+	want := math.Sqrt(math.Pow(1-1.0/6, 2) + 5*math.Pow(1.0/6, 2))
+	if math.Abs(b.MixDeviation-want) > 1e-9 {
+		t.Fatalf("single-port deviation %v, want %v", b.MixDeviation, want)
+	}
+}
+
+func TestMaxMixDeviationBounds(t *testing.T) {
+	for _, d := range []*arch.Desc{arch.POWER7(), arch.Nehalem()} {
+		max := MaxMixDeviation(d)
+		if max <= 0 || max >= math.Sqrt2 {
+			t.Fatalf("%s: MaxMixDeviation %v out of (0, sqrt(2))", d.Name, max)
+		}
+	}
+}
+
+// Property: the mix-deviation never exceeds the architecture's bound and the
+// metric is always non-negative.
+func TestMetricBoundsProperty(t *testing.T) {
+	d := arch.POWER7()
+	bound := MaxMixDeviation(d)
+	rng := xrand.New(4)
+	if err := quick.Check(func(seed uint64) bool {
+		var s counters.Snapshot
+		s.WallCycles = int64(rng.Uint64n(1_000_000) + 1)
+		s.CoreCycles = uint64(s.WallCycles) * 8
+		s.DispHeldCycles = rng.Uint64n(s.CoreCycles + 1)
+		s.Retired = rng.Uint64n(1_000_000) + 1
+		left := s.Retired
+		for c := isa.Class(0); c < isa.NumClasses-1; c++ {
+			v := rng.Uint64n(left + 1)
+			s.RetiredByClass[c] = v
+			left -= v
+		}
+		s.RetiredByClass[isa.NumClasses-1] = left
+		s.ThreadBusy = []int64{int64(rng.Uint64n(uint64(s.WallCycles)) + 1)}
+		b := Compute(d, &s)
+		return b.Value >= 0 && b.MixDeviation <= bound+1e-9 &&
+			b.DispHeld >= 0 && b.DispHeld <= 1 && b.Scalability >= 1
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling all counters by a constant leaves the metric unchanged
+// (it is built from fractions and ratios).
+func TestMetricScaleInvariance(t *testing.T) {
+	d := arch.POWER7()
+	s1 := snapWithMix(map[isa.Class]float64{isa.Load: 0.3, isa.Int: 0.4, isa.FPVec: 0.3},
+		10_000, 0.5, 5000, []int64{4000, 4000})
+	s2 := snapWithMix(map[isa.Class]float64{isa.Load: 0.3, isa.Int: 0.4, isa.FPVec: 0.3},
+		20_000, 0.5, 10_000, []int64{8000, 8000})
+	v1, v2 := Value(d, &s1), Value(d, &s2)
+	if math.Abs(v1-v2) > 1e-9 {
+		t.Fatalf("metric not scale-invariant: %v vs %v", v1, v2)
+	}
+}
+
+func TestSpinningSkewRaisesMetric(t *testing.T) {
+	// A workload whose threads start spinning (branch/load heavy mix)
+	// must see its metric rise — the paper's scalability-detection
+	// mechanism.
+	d := arch.POWER7()
+	base := snapWithMix(idealP7Mix, 7000, 0.5, 1000, []int64{1000})
+	spinMix := map[isa.Class]float64{
+		isa.Load: 0.35, isa.Int: 0.3, isa.Branch: 0.33, isa.Store: 0.02,
+	}
+	spin := snapWithMix(spinMix, 7000, 0.5, 1000, []int64{1000})
+	if Value(d, &spin) <= Value(d, &base) {
+		t.Fatal("spin-skewed mix did not raise the metric")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	d := arch.POWER7()
+	s := snapWithMix(idealP7Mix, 7000, 0.5, 1000, []int64{1000})
+	out := Compute(d, &s).String()
+	for _, want := range []string{"SMTsm=", "mixDev=", "dispHeld=", "loads", "vsu"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTermsAlignWithArch(t *testing.T) {
+	d := arch.Nehalem()
+	var s counters.Snapshot
+	s.IssuedByPort = make([]uint64, d.NumPorts)
+	b := Compute(d, &s)
+	if len(b.Terms) != len(d.MixTerms) {
+		t.Fatalf("%d terms, want %d", len(b.Terms), len(d.MixTerms))
+	}
+	for i, term := range b.Terms {
+		if term.Name != d.MixTerms[i].Name || term.Ideal != d.MixTerms[i].Ideal {
+			t.Fatalf("term %d mismatch: %+v vs %+v", i, term, d.MixTerms[i])
+		}
+	}
+}

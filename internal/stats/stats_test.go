@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean([1 2 3]) != 2")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Variance(xs), 4, 1e-12) {
+		t.Fatalf("variance %v, want 4", Variance(xs))
+	}
+	if !almost(StdDev(xs), 2, 1e-12) {
+		t.Fatalf("stddev %v, want 2", StdDev(xs))
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Fatal("variance of a single sample must be 0")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{10, 20, 30, 40}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almost(r, 1, 1e-12) {
+		t.Fatalf("r = %v err %v, want 1", r, err)
+	}
+	neg := []float64{40, 30, 20, 10}
+	r, _ = Pearson(xs, neg)
+	if !almost(r, -1, 1e-12) {
+		t.Fatalf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonNoCorrelation(t *testing.T) {
+	rng := xrand.New(1)
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.06 {
+		t.Fatalf("independent samples correlate at %v", r)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{2, 3, 4})
+	if err != nil || r != 0 {
+		t.Fatalf("r = %v err %v for a constant sample, want 0", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("too-short sample not detected")
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	rng := xrand.New(7)
+	if err := quick.Check(func(seed uint64) bool {
+		n := int(seed%30) + 2
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			ys[i] = rng.Float64() * 100
+		}
+		r, err := Pearson(xs, ys)
+		return err == nil && r >= -1-1e-9 && r <= 1+1e-9
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{5, 5, 1})
+	// The two 5s occupy ranks 2 and 3 -> each gets 2.5.
+	if got[0] != 2.5 || got[1] != 2.5 || got[2] != 1 {
+		t.Fatalf("ranks with ties %v, want [2.5 2.5 1]", got)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// A monotone nonlinear relation has Spearman 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	r, err := Spearman(xs, ys)
+	if err != nil || !almost(r, 1, 1e-12) {
+		t.Fatalf("spearman %v err %v, want 1", r, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = (%v, %v, %v)", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Fatal("MinMax(nil) must return ErrEmpty")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4, 16})
+	if err != nil || !almost(g, 4, 1e-9) {
+		t.Fatalf("geomean %v err %v, want 4", g, err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Fatal("geomean of zero must fail")
+	}
+	if _, err := GeoMean(nil); err != ErrEmpty {
+		t.Fatal("geomean of empty must be ErrEmpty")
+	}
+}

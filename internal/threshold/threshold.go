@@ -1,0 +1,222 @@
+// Package threshold implements the paper's two automatic threshold-selection
+// procedures for the SMT-selection metric (Section V): Gini-impurity
+// separator search (V-A) and average Percentage-Performance-Improvement
+// search (V-B). Both consume (metric, speedup) observations gathered from a
+// representative workload set and return the metric value above which a
+// lower SMT level should be selected.
+package threshold
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Point is one (metric value, speedup) observation: the SMTsm measured at
+// the higher SMT level, and the higher-over-lower speedup (>= 1 means the
+// higher SMT level is at least as good).
+type Point struct {
+	Metric  float64
+	Speedup float64
+	// Label optionally names the benchmark behind the observation.
+	Label string
+}
+
+// GiniResult describes the impurity landscape over candidate separators.
+type GiniResult struct {
+	// Best is the midpoint of the optimal separator range.
+	Best float64
+	// Lo and Hi bound the range of separators achieving minimal impurity
+	// (the dotted lines of the paper's Fig. 16); a wide range means new
+	// applications near the threshold are less likely to be mispredicted.
+	Lo, Hi float64
+	// MinImpurity is the impurity achieved on the optimal range.
+	MinImpurity float64
+	// Curve samples the impurity at each candidate separator, for
+	// plotting (Fig. 16).
+	Curve []CurvePoint
+}
+
+// CurvePoint is one (separator, value) sample of a threshold curve.
+type CurvePoint struct {
+	Separator float64
+	Value     float64
+}
+
+// Gini computes the impurity of splitting points at the given separator:
+// points with Metric < sep form the left set, the rest the right set; a
+// point is class-1 when Speedup >= 1 (paper Eqs. 4-6).
+func Gini(points []Point, sep float64) float64 {
+	var l0, l1, r0, r1 float64
+	for _, p := range points {
+		left := p.Metric < sep
+		good := p.Speedup >= 1
+		switch {
+		case left && good:
+			l1++
+		case left && !good:
+			l0++
+		case !left && good:
+			r1++
+		default:
+			r0++
+		}
+	}
+	nl, nr := l0+l1, r0+r1
+	n := nl + nr
+	if n == 0 {
+		return 0
+	}
+	il, ir := 0.0, 0.0
+	if nl > 0 {
+		il = 1 - (l1/nl)*(l1/nl) - (l0/nl)*(l0/nl)
+	}
+	if nr > 0 {
+		ir = 1 - (r1/nr)*(r1/nr) - (r0/nr)*(r0/nr)
+	}
+	return nl/n*il + nr/n*ir
+}
+
+// ErrNoPoints is returned when a search is given no observations.
+var ErrNoPoints = errors.New("threshold: no observations")
+
+// candidateSeparators returns the midpoints between consecutive distinct
+// metric values, plus sentinels below and above all observations.
+func candidateSeparators(points []Point) []float64 {
+	vals := make([]float64, 0, len(points))
+	for _, p := range points {
+		vals = append(vals, p.Metric)
+	}
+	sort.Float64s(vals)
+	seps := []float64{vals[0] - 1e-9}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1] {
+			seps = append(seps, (vals[i]+vals[i-1])/2)
+		}
+	}
+	seps = append(seps, vals[len(vals)-1]+1e-9)
+	return seps
+}
+
+// GiniSearch finds the separator range minimising Gini impurity over all
+// candidate separators (midpoints between observed metric values).
+func GiniSearch(points []Point) (GiniResult, error) {
+	if len(points) == 0 {
+		return GiniResult{}, ErrNoPoints
+	}
+	seps := candidateSeparators(points)
+	res := GiniResult{MinImpurity: math.Inf(1), Lo: math.Inf(1), Hi: math.Inf(-1)}
+	for _, sep := range seps {
+		v := Gini(points, sep)
+		res.Curve = append(res.Curve, CurvePoint{Separator: sep, Value: v})
+		if v < res.MinImpurity-1e-12 {
+			res.MinImpurity = v
+			res.Lo, res.Hi = sep, sep
+		} else if v <= res.MinImpurity+1e-12 {
+			if sep < res.Lo {
+				res.Lo = sep
+			}
+			if sep > res.Hi {
+				res.Hi = sep
+			}
+		}
+	}
+	res.Best = (res.Lo + res.Hi) / 2
+	return res, nil
+}
+
+// PPIResult describes the average-percentage-performance-improvement
+// landscape over candidate thresholds (paper Section V-B).
+type PPIResult struct {
+	// Best is the threshold with the highest average PPI.
+	Best float64
+	// BestPPI is the average improvement (in percent) at Best.
+	BestPPI float64
+	// Curve samples average PPI per candidate threshold (Fig. 17).
+	Curve []CurvePoint
+}
+
+// PPI computes the average percentage performance improvement over the
+// observation set if every workload whose metric exceeds the threshold were
+// switched to the lower SMT level: such a workload improves by
+// (1/speedup - 1) × 100 percent (negative if it actually preferred the
+// higher level); workloads below the threshold contribute zero.
+func PPI(points []Point, thresh float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range points {
+		if p.Metric > thresh && p.Speedup > 0 {
+			sum += (1/p.Speedup - 1) * 100
+		}
+	}
+	return sum / float64(len(points))
+}
+
+// PPISearch finds the threshold maximising average PPI over all candidate
+// thresholds.
+func PPISearch(points []Point) (PPIResult, error) {
+	if len(points) == 0 {
+		return PPIResult{}, ErrNoPoints
+	}
+	seps := candidateSeparators(points)
+	res := PPIResult{BestPPI: math.Inf(-1)}
+	for _, sep := range seps {
+		v := PPI(points, sep)
+		res.Curve = append(res.Curve, CurvePoint{Separator: sep, Value: v})
+		if v > res.BestPPI {
+			res.BestPPI = v
+			res.Best = sep
+		}
+	}
+	return res, nil
+}
+
+// BestAccuracySplit sweeps every candidate threshold in the metric's
+// natural orientation (small metric ⇒ prefer the higher SMT level) and
+// returns the threshold maximising classification accuracy, that accuracy,
+// and the labels misclassified at it. Unlike raw Gini impurity this is
+// orientation-aware, so it never reports a "pure" but semantically inverted
+// split.
+func BestAccuracySplit(points []Point) (float64, float64, []string, error) {
+	if len(points) == 0 {
+		return 0, 0, nil, ErrNoPoints
+	}
+	bestTh, bestAcc := 0.0, -1.0
+	for _, sep := range candidateSeparators(points) {
+		if acc := Accuracy(points, sep); acc > bestAcc {
+			bestAcc = acc
+			bestTh = sep
+		}
+	}
+	return bestTh, bestAcc, Misclassified(points, bestTh), nil
+}
+
+// Accuracy returns the fraction of points correctly classified by the
+// threshold: points below it should have speedup >= 1 (stay at the higher
+// SMT level), points above it should have speedup < 1. This is the
+// "success rate" the paper reports (93% on POWER7, 86% on Nehalem).
+func Accuracy(points []Point, thresh float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, p := range points {
+		if (p.Metric < thresh) == (p.Speedup >= 1) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(points))
+}
+
+// Misclassified returns the labels of points the threshold gets wrong.
+func Misclassified(points []Point, thresh float64) []string {
+	var out []string
+	for _, p := range points {
+		if (p.Metric < thresh) != (p.Speedup >= 1) {
+			out = append(out, p.Label)
+		}
+	}
+	return out
+}

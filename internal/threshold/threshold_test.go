@@ -1,0 +1,260 @@
+package threshold
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// separable returns points perfectly split at metric 0.1.
+func separable() []Point {
+	return []Point{
+		{Metric: 0.02, Speedup: 2.0, Label: "a"},
+		{Metric: 0.04, Speedup: 1.5, Label: "b"},
+		{Metric: 0.06, Speedup: 1.1, Label: "c"},
+		{Metric: 0.15, Speedup: 0.8, Label: "d"},
+		{Metric: 0.20, Speedup: 0.5, Label: "e"},
+		{Metric: 0.30, Speedup: 0.3, Label: "f"},
+	}
+}
+
+func TestGiniPerfectSeparation(t *testing.T) {
+	if g := Gini(separable(), 0.1); g != 0 {
+		t.Fatalf("impurity %v at a perfect separator, want 0", g)
+	}
+}
+
+func TestGiniWorstCase(t *testing.T) {
+	// A separator that puts half good/half bad on each side gives maximal
+	// impurity 0.5.
+	pts := []Point{
+		{Metric: 0.1, Speedup: 2}, {Metric: 0.2, Speedup: 0.5},
+		{Metric: 0.3, Speedup: 2}, {Metric: 0.4, Speedup: 0.5},
+	}
+	if g := Gini(pts, 0.25); math.Abs(g-0.5) > 1e-12 {
+		t.Fatalf("impurity %v, want 0.5", g)
+	}
+}
+
+func TestGiniBounds(t *testing.T) {
+	rng := xrand.New(1)
+	if err := quick.Check(func(seed uint64) bool {
+		n := int(seed%20) + 1
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{Metric: rng.Float64(), Speedup: rng.Float64() * 2}
+		}
+		g := Gini(pts, rng.Float64())
+		return g >= 0 && g <= 0.5+1e-12
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGiniSearchFindsSeparator(t *testing.T) {
+	res, err := GiniSearch(separable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinImpurity != 0 {
+		t.Fatalf("min impurity %v, want 0", res.MinImpurity)
+	}
+	if res.Best <= 0.06 || res.Best >= 0.15 {
+		t.Fatalf("best separator %v outside the clean gap (0.06, 0.15)", res.Best)
+	}
+	if res.Lo > res.Hi {
+		t.Fatalf("range [%v, %v] inverted", res.Lo, res.Hi)
+	}
+	if len(res.Curve) == 0 {
+		t.Fatal("no impurity curve")
+	}
+}
+
+func TestGiniSearchEmpty(t *testing.T) {
+	if _, err := GiniSearch(nil); err != ErrNoPoints {
+		t.Fatalf("err = %v, want ErrNoPoints", err)
+	}
+}
+
+func TestPPIZeroBelowThreshold(t *testing.T) {
+	pts := separable()
+	// A threshold above every metric: no workload switches, PPI 0.
+	if v := PPI(pts, 1); v != 0 {
+		t.Fatalf("PPI %v with nothing over the threshold", v)
+	}
+}
+
+func TestPPIPositiveForGoodThreshold(t *testing.T) {
+	pts := separable()
+	v := PPI(pts, 0.1)
+	// d, e, f switch: improvements (1/0.8-1)+(1/0.5-1)+(1/0.3-1) over 6.
+	want := ((1/0.8 - 1) + (1/0.5 - 1) + (1/0.3 - 1)) * 100 / 6
+	if math.Abs(v-want) > 1e-9 {
+		t.Fatalf("PPI %v, want %v", v, want)
+	}
+}
+
+func TestPPISearchPicksGap(t *testing.T) {
+	res, err := PPISearch(separable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best <= 0.06 || res.Best >= 0.15 {
+		t.Fatalf("best threshold %v outside the clean gap", res.Best)
+	}
+	if res.BestPPI <= 0 {
+		t.Fatalf("best PPI %v, want positive", res.BestPPI)
+	}
+}
+
+func TestPPIPenalisesOverEagerThreshold(t *testing.T) {
+	pts := separable()
+	// A threshold of 0 also switches the SMT-winning workloads, whose
+	// negative contributions must lower the average.
+	if PPI(pts, 0) >= PPI(pts, 0.1) {
+		t.Fatal("switching SMT-winning workloads did not lower PPI")
+	}
+}
+
+// The paper's Section V-B3 scenario: Gini optimises classification purity
+// and may sacrifice a single large speedup; PPI weighs the speedup amounts
+// and protects the big winner.
+func TestPPIVsGiniTradeoff(t *testing.T) {
+	pts := []Point{
+		{Metric: 0.05, Speedup: 0.97, Label: "slightly-bad-1"},
+		{Metric: 0.06, Speedup: 0.96, Label: "slightly-bad-2"},
+		{Metric: 0.07, Speedup: 0.95, Label: "slightly-bad-3"},
+		{Metric: 0.08, Speedup: 3.0, Label: "big-winner"},
+		{Metric: 0.20, Speedup: 0.4, Label: "bad"},
+	}
+	g, err := GiniSearch(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PPISearch(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gini finds its purest split between the slightly-bad cluster and
+	// the winner; PPI must place the threshold so the 3x winner is NOT
+	// switched to the lower level, accepting the minor slowdowns.
+	if g.MinImpurity > Gini(pts, 0.04)+1e-12 {
+		t.Fatalf("gini search missed a better separator (%v > %v)",
+			g.MinImpurity, Gini(pts, 0.04))
+	}
+	if p.Best < 0.08 {
+		t.Fatalf("PPI threshold %v would switch the 3x winner", p.Best)
+	}
+	// And PPI at its optimum must beat PPI at the over-eager threshold
+	// that switches everything.
+	if p.BestPPI <= PPI(pts, 0.04) {
+		t.Fatal("PPI optimum no better than the over-eager threshold")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	pts := separable()
+	if a := Accuracy(pts, 0.1); a != 1 {
+		t.Fatalf("accuracy %v at the perfect threshold", a)
+	}
+	if a := Accuracy(pts, 0.0001); a != 0.5 {
+		t.Fatalf("accuracy %v at a threshold below everything, want 0.5", a)
+	}
+}
+
+func TestMisclassified(t *testing.T) {
+	pts := separable()
+	if names := Misclassified(pts, 0.1); len(names) != 0 {
+		t.Fatalf("misclassified %v at the perfect threshold", names)
+	}
+	names := Misclassified(pts, 0.25)
+	// d (0.15) and e (0.20) are now left of the threshold but slow.
+	if len(names) != 2 || names[0] != "d" || names[1] != "e" {
+		t.Fatalf("misclassified %v, want [d e]", names)
+	}
+}
+
+// Property: the Gini search returns a global minimiser over its candidate
+// separators — no candidate (and no observed metric value) achieves lower
+// impurity than the reported minimum.
+func TestGiniSearchMinimalityProperty(t *testing.T) {
+	rng := xrand.New(2)
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(20) + 2
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{Metric: rng.Float64(), Speedup: rng.Float64()*2 + 0.1}
+		}
+		res, err := GiniSearch(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cp := range res.Curve {
+			if cp.Value < res.MinImpurity-1e-12 {
+				t.Fatalf("trial %d: curve point %v below reported minimum %v",
+					trial, cp.Value, res.MinImpurity)
+			}
+		}
+		for _, p := range pts {
+			if g := Gini(pts, p.Metric); g < res.MinImpurity-1e-12 {
+				t.Fatalf("trial %d: separator at %v has impurity %v < min %v",
+					trial, p.Metric, g, res.MinImpurity)
+			}
+		}
+	}
+}
+
+func TestBestAccuracySplit(t *testing.T) {
+	pts := separable()
+	th, acc, mis, err := BestAccuracySplit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 || len(mis) != 0 {
+		t.Fatalf("accuracy %v, misclassified %v on a separable set", acc, mis)
+	}
+	if th <= 0.06 || th >= 0.15 {
+		t.Fatalf("threshold %v outside the clean gap", th)
+	}
+}
+
+func TestBestAccuracySplitOrientationAware(t *testing.T) {
+	// An inverted set (losers at LOW metrics): a pure Gini split exists,
+	// but the orientation-aware search must not report sky-high accuracy —
+	// its best natural-orientation threshold classifies the majority class.
+	pts := []Point{
+		{Metric: 0.01, Speedup: 0.5, Label: "bad-low"},
+		{Metric: 0.02, Speedup: 0.6, Label: "bad-low2"},
+		{Metric: 0.30, Speedup: 1.5, Label: "good-high"},
+		{Metric: 0.40, Speedup: 1.6, Label: "good-high2"},
+	}
+	_, acc, _, err := BestAccuracySplit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Natural orientation can at best classify one class fully: 0.5.
+	if acc > 0.5+1e-9 {
+		t.Fatalf("orientation-aware accuracy %v on an inverted set, want <= 0.5", acc)
+	}
+}
+
+func TestBestAccuracySplitEmpty(t *testing.T) {
+	if _, _, _, err := BestAccuracySplit(nil); err != ErrNoPoints {
+		t.Fatalf("err = %v, want ErrNoPoints", err)
+	}
+}
+
+func TestPPISearchEmpty(t *testing.T) {
+	if _, err := PPISearch(nil); err != ErrNoPoints {
+		t.Fatal("PPISearch(nil) must fail")
+	}
+}
+
+func TestPPIZeroSpeedupIgnored(t *testing.T) {
+	pts := []Point{{Metric: 0.5, Speedup: 0}}
+	if v := PPI(pts, 0.1); v != 0 {
+		t.Fatalf("PPI %v with a zero-speedup point, want 0 (skipped)", v)
+	}
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace reader: it must never
+// panic, and any instructions it does deliver must be well-formed.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid trace.
+	var buf bytes.Buffer
+	insts := []isa.Inst{
+		{Class: isa.Load, Addr: 0x1000},
+		{Class: isa.Branch, Addr: 0x42, Taken: true},
+		{Class: isa.Int, Dep1: 3},
+	}
+	if _, err := Record(&sliceSource{insts: insts}, 3, &buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SMTTRC1\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var in isa.Inst
+		for i := 0; i < 10_000; i++ {
+			st := r.Fetch(int64(i), &in)
+			if st == isa.FetchDone {
+				break
+			}
+			if !in.Class.Valid() {
+				t.Fatalf("reader delivered invalid class %d", in.Class)
+			}
+		}
+	})
+}

@@ -1,0 +1,230 @@
+// Package trace records and replays per-thread instruction streams in a
+// compact binary format. Traces decouple workload generation from
+// simulation — record a stream once, replay it against different machine
+// configurations — and let users bring their own traces to the simulator.
+//
+// A trace captures the *delivered* instructions of one isa.Source (the
+// FetchOK results); scheduling artefacts such as idle cycles are not
+// recorded, so a replayed trace is a synchronisation-free compute stream.
+//
+// Format (little-endian):
+//
+//	magic "SMTTRC1\n" (8 bytes)
+//	uvarint count
+//	count × instruction records:
+//	    flags byte:  bit0 taken, bit1 shared, bit2 has-addr,
+//	                 bit3 has-dep1, bit4 has-dep2
+//	    class byte
+//	    [addr  as uvarint zig-zag delta from previous addr]
+//	    [dep1 byte] [dep2 byte]
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+var magic = [8]byte{'S', 'M', 'T', 'T', 'R', 'C', '1', '\n'}
+
+const (
+	flagTaken = 1 << iota
+	flagShared
+	flagHasAddr
+	flagHasDep1
+	flagHasDep2
+)
+
+// ErrBadMagic is returned when a stream is not a trace file.
+var ErrBadMagic = errors.New("trace: bad magic (not a trace file)")
+
+// zigzag encodes a signed delta as unsigned.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// unzigzag decodes a zig-zag value.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Record pulls up to n instructions from src (stopping early at FetchDone)
+// and writes them to w. Idle fetches are skipped by advancing the recording
+// clock. It returns the number of instructions recorded.
+func Record(src isa.Source, n int64, w io.Writer) (int64, error) {
+	if n < 0 {
+		return 0, errors.New("trace: negative instruction count")
+	}
+	// First pass into memory: the header carries the exact count.
+	insts := make([]isa.Inst, 0, min64(n, 1<<20))
+	var in isa.Inst
+	now := int64(0)
+	idleStreak := 0
+	for int64(len(insts)) < n {
+		switch src.Fetch(now, &in) {
+		case isa.FetchOK:
+			insts = append(insts, in)
+			idleStreak = 0
+		case isa.FetchIdle:
+			// Jump the recording clock forward; a source that stays
+			// idle for implausibly long under an advancing clock is
+			// deadlocked without its sibling threads.
+			now += 1 << 12
+			idleStreak++
+			if idleStreak > 1<<20 {
+				return 0, errors.New("trace: source idle indefinitely (needs peer threads?)")
+			}
+			continue
+		case isa.FetchDone:
+			n = int64(len(insts))
+		}
+		now++
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return 0, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	if err := put(uint64(len(insts))); err != nil {
+		return 0, err
+	}
+	prevAddr := int64(0)
+	for _, inst := range insts {
+		flags := byte(0)
+		if inst.Taken {
+			flags |= flagTaken
+		}
+		if inst.SharedAddr {
+			flags |= flagShared
+		}
+		if inst.Addr != 0 {
+			flags |= flagHasAddr
+		}
+		if inst.Dep1 != 0 {
+			flags |= flagHasDep1
+		}
+		if inst.Dep2 != 0 {
+			flags |= flagHasDep2
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return 0, err
+		}
+		if err := bw.WriteByte(byte(inst.Class)); err != nil {
+			return 0, err
+		}
+		if flags&flagHasAddr != 0 {
+			delta := int64(inst.Addr) - prevAddr
+			if err := put(zigzag(delta)); err != nil {
+				return 0, err
+			}
+			prevAddr = int64(inst.Addr)
+		}
+		if flags&flagHasDep1 != 0 {
+			if err := bw.WriteByte(inst.Dep1); err != nil {
+				return 0, err
+			}
+		}
+		if flags&flagHasDep2 != 0 {
+			if err := bw.WriteByte(inst.Dep2); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return int64(len(insts)), bw.Flush()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Reader replays a recorded trace as an isa.Source.
+type Reader struct {
+	br       *bufio.Reader
+	left     uint64
+	prevAddr int64
+	err      error
+}
+
+// NewReader opens a trace stream, validating the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if hdr != magic {
+		return nil, ErrBadMagic
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	return &Reader{br: br, left: count}, nil
+}
+
+// Len returns the number of instructions remaining.
+func (r *Reader) Len() int64 { return int64(r.left) }
+
+// Err returns the first decode error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Fetch implements isa.Source.
+func (r *Reader) Fetch(now int64, out *isa.Inst) isa.FetchStatus {
+	if r.left == 0 || r.err != nil {
+		return isa.FetchDone
+	}
+	fail := func(err error) isa.FetchStatus {
+		r.err = fmt.Errorf("trace: corrupt record: %w", err)
+		r.left = 0
+		return isa.FetchDone
+	}
+	flags, err := r.br.ReadByte()
+	if err != nil {
+		return fail(err)
+	}
+	class, err := r.br.ReadByte()
+	if err != nil {
+		return fail(err)
+	}
+	if !isa.Class(class).Valid() {
+		return fail(fmt.Errorf("invalid class %d", class))
+	}
+	*out = isa.Inst{
+		Class:      isa.Class(class),
+		Taken:      flags&flagTaken != 0,
+		SharedAddr: flags&flagShared != 0,
+	}
+	if flags&flagHasAddr != 0 {
+		u, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return fail(err)
+		}
+		r.prevAddr += unzigzag(u)
+		out.Addr = uint64(r.prevAddr)
+	}
+	if flags&flagHasDep1 != 0 {
+		d, err := r.br.ReadByte()
+		if err != nil {
+			return fail(err)
+		}
+		out.Dep1 = d
+	}
+	if flags&flagHasDep2 != 0 {
+		d, err := r.br.ReadByte()
+		if err != nil {
+			return fail(err)
+		}
+		out.Dep2 = d
+	}
+	r.left--
+	return isa.FetchOK
+}

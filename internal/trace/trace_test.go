@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// sliceSource replays a fixed instruction slice.
+type sliceSource struct {
+	insts []isa.Inst
+	pos   int
+}
+
+func (s *sliceSource) Fetch(now int64, out *isa.Inst) isa.FetchStatus {
+	if s.pos >= len(s.insts) {
+		return isa.FetchDone
+	}
+	*out = s.insts[s.pos]
+	s.pos++
+	return isa.FetchOK
+}
+
+func randomInsts(rng *xrand.Rand, n int) []isa.Inst {
+	out := make([]isa.Inst, n)
+	for i := range out {
+		out[i] = isa.Inst{
+			Class:      isa.Class(rng.Intn(int(isa.NumClasses))),
+			Taken:      rng.Bernoulli(0.5),
+			SharedAddr: rng.Bernoulli(0.2),
+			Addr:       rng.Uint64n(1 << 40),
+			Dep1:       uint8(rng.Intn(isa.MaxDepDistance + 1)),
+			Dep2:       uint8(rng.Intn(isa.MaxDepDistance + 1)),
+		}
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := xrand.New(1)
+	insts := randomInsts(rng, 5000)
+	var buf bytes.Buffer
+	n, err := Record(&sliceSource{insts: insts}, int64(len(insts)), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(insts)) {
+		t.Fatalf("recorded %d, want %d", n, len(insts))
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != int64(len(insts)) {
+		t.Fatalf("reader length %d, want %d", r.Len(), len(insts))
+	}
+	var in isa.Inst
+	for i, want := range insts {
+		if st := r.Fetch(int64(i), &in); st != isa.FetchOK {
+			t.Fatalf("instruction %d: status %v", i, st)
+		}
+		if in != want {
+			t.Fatalf("instruction %d: got %+v, want %+v", i, in, want)
+		}
+	}
+	if st := r.Fetch(0, &in); st != isa.FetchDone {
+		t.Fatalf("after end: status %v, want done", st)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := xrand.New(2)
+	if err := quick.Check(func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		insts := randomInsts(xrand.New(seed), n)
+		var buf bytes.Buffer
+		if _, err := Record(&sliceSource{insts: insts}, int64(n), &buf); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		var in isa.Inst
+		for _, want := range insts {
+			if r.Fetch(0, &in) != isa.FetchOK || in != want {
+				return false
+			}
+		}
+		return r.Fetch(0, &in) == isa.FetchDone
+	}, &quick.Config{MaxCount: 50, Rand: nil}); err != nil {
+		t.Fatal(err)
+	}
+	_ = rng
+}
+
+func TestRecordStopsAtDone(t *testing.T) {
+	insts := randomInsts(xrand.New(3), 10)
+	var buf bytes.Buffer
+	n, err := Record(&sliceSource{insts: insts}, 1000, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("recorded %d, want 10 (source exhausted)", n)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACEFILE"))); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	insts := randomInsts(xrand.New(4), 100)
+	var buf bytes.Buffer
+	if _, err := Record(&sliceSource{insts: insts}, 100, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the tail off.
+	data := buf.Bytes()[:buf.Len()/2]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in isa.Inst
+	for i := 0; i < 200; i++ {
+		if r.Fetch(0, &in) == isa.FetchDone {
+			break
+		}
+	}
+	if r.Err() == nil {
+		t.Fatal("truncated trace decoded without error")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Record(&sliceSource{}, 100, &buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in isa.Inst
+	if st := r.Fetch(0, &in); st != isa.FetchDone {
+		t.Fatalf("empty trace status %v", st)
+	}
+}
+
+func TestRecordWorkloadStream(t *testing.T) {
+	// Record a real benchmark thread and replay it: the classes and
+	// addresses must round-trip exactly.
+	spec, err := workload.Get("Blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := workload.Instantiate(spec, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := Record(inst.Sources()[1], 20_000, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20_000 {
+		t.Fatalf("recorded %d, want 20000", n)
+	}
+
+	// Replay against a fresh instantiation of the same thread.
+	ref, _ := workload.Instantiate(spec, 2, 9)
+	refSrc := ref.Sources()[1]
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want isa.Inst
+	for i := 0; i < 20_000; i++ {
+		if r.Fetch(int64(i), &got) != isa.FetchOK {
+			t.Fatalf("replay ended early at %d", i)
+		}
+		for refSrc.Fetch(int64(i), &want) != isa.FetchOK {
+		}
+		if got != want {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// The format should average well under 8 bytes per instruction for
+	// realistic streams (the naive struct is 24 bytes).
+	spec, _ := workload.Get("EP")
+	inst, _ := workload.Instantiate(spec, 1, 1)
+	var buf bytes.Buffer
+	n, err := Record(inst.Sources()[0], 50_000, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perInst := float64(buf.Len()) / float64(n)
+	if perInst > 8 {
+		t.Fatalf("%.1f bytes/instruction, want < 8", perInst)
+	}
+}
+
+func TestRecordNegativeCount(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Record(&sliceSource{}, -1, &buf); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+var _ io.Reader = (*bytes.Buffer)(nil) // documentation of intent

@@ -1,0 +1,27 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func BenchmarkGen(b *testing.B) {
+	spec, err := Get("EP")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := Instantiate(spec, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := inst.Sources()[0]
+	var in isa.Inst
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if src.Fetch(int64(i), &in) == isa.FetchDone {
+			inst, _ = Instantiate(spec, 1, uint64(i))
+			src = inst.Sources()[0]
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSpecJSON feeds arbitrary JSON to the spec unmarshaller: it must never
+// panic, and anything it accepts must validate and instantiate.
+func FuzzSpecJSON(f *testing.F) {
+	for _, s := range All()[:4] {
+		data, err := json.Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x"}`))
+	f.Add([]byte(`{`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Spec
+		if err := json.Unmarshal(data, &s); err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("unmarshal accepted an invalid spec: %v", err)
+		}
+		if _, err := Instantiate(&s, 2, 1); err != nil {
+			t.Fatalf("valid spec failed to instantiate: %v", err)
+		}
+	})
+}

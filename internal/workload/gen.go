@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// Address-space layout: each thread's private region and the process-wide
+// shared region live at fixed, non-overlapping bases. Lock words used by
+// spin loops live in their own region (see sched).
+const (
+	privRegionBase  = uint64(1) << 33
+	privRegionSpan  = uint64(1) << 33 // per-thread stride between regions
+	sharedRegionTag = uint64(1) << 46
+)
+
+// threadRegionBase returns the start of a thread's private data region. The
+// base is skewed by a thread-dependent, line-aligned offset: allocators
+// never hand threads identically-aligned arenas, and perfectly aligned
+// bases would make every thread's working set collide in the same cache
+// sets.
+func threadRegionBase(threadID int) uint64 {
+	skew := (xrand.Mix64(uint64(threadID)) & 0x3fff) << 7
+	return privRegionBase + uint64(threadID)*privRegionSpan + skew
+}
+
+// branchSites is the number of static branch PCs each thread cycles
+// through; a handful of sites lets the gshare predictor learn biased sites
+// while entropy still produces mispredictions.
+const branchSites = 8
+
+// blockGen generates the useful-work instructions of one thread according
+// to its Spec. It implements sched.InstGen.
+type blockGen struct {
+	spec *Spec
+	rng  *xrand.Rand
+
+	cdf [isa.NumClasses]float64
+
+	privBase  uint64
+	privSize  uint64
+	sharedSz  uint64
+	pos       uint64 // cold stride cursor over the full working set
+	hotPos    uint64 // hot stride cursor within the hot tile
+	sharedPos uint64
+	sharedHot uint64
+
+	sites  [branchSites]uint64
+	pTaken [branchSites]float64
+
+	// Dependency-chain state: the stream position of the last instruction
+	// emitted on each chain, and counters that rotate chain membership.
+	pos64   int64 // dynamic instruction index
+	lastPos [32]int64
+	chainRR int
+	nchains int
+}
+
+func newBlockGen(spec *Spec, threadID int, seed uint64) *blockGen {
+	g := &blockGen{
+		spec:     spec,
+		rng:      xrand.New(seed),
+		privBase: threadRegionBase(threadID),
+		privSize: uint64(spec.WorkingSetKB) << 10,
+		sharedSz: uint64(spec.SharedSetKB) << 10,
+	}
+	if g.privSize < 64 {
+		g.privSize = 64
+	}
+	if g.sharedSz < 64 {
+		g.sharedSz = 64
+	}
+	g.nchains = spec.Chains
+	if g.nchains < 1 {
+		g.nchains = 1
+	}
+	for i := range g.lastPos {
+		g.lastPos[i] = -1
+	}
+
+	w := spec.Mix.weights()
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	acc := 0.0
+	for c := range w {
+		acc += w[c] / sum
+		g.cdf[c] = acc
+	}
+	g.cdf[isa.NumClasses-1] = 1.0
+
+	// Branch sites: with entropy e, a site's taken-probability moves from
+	// strongly biased 0.99 (about 1% mispredicted) to 0.91 (about 10%
+	// mispredicted — the worst realistic data-dependent branching; the
+	// paper's Fig. 2 branch-MPKI axis tops out around 12).
+	e := spec.BranchEntropy
+	for i := range g.sites {
+		g.sites[i] = (uint64(threadID)<<20 | uint64(i)<<4) + 0x4000_0000_0000
+		bias := 0.99 - 0.08*e
+		if i%2 == 1 {
+			bias = 1 - bias
+		}
+		g.pTaken[i] = bias
+	}
+	return g
+}
+
+// class samples an instruction class from the mix.
+func (g *blockGen) class() isa.Class {
+	u := g.rng.Float64()
+	for c := isa.Class(0); c < isa.NumClasses-1; c++ {
+		if u < g.cdf[c] {
+			return c
+		}
+	}
+	return isa.NumClasses - 1
+}
+
+// hotBytes caps the hot region (tile) of a working set.
+const hotBytes = 8 << 10
+
+// hotSize returns the hot-region size for a working set of the given size.
+func hotSize(size uint64) uint64 {
+	if size > hotBytes {
+		return hotBytes
+	}
+	return size
+}
+
+// randOff returns a random offset into a working set of the given size,
+// honouring the hot/cold locality split: real irregular codes concentrate
+// most accesses on a hot subset (current tree path, top of heap, hot
+// objects); ColdFrac is the fraction that wanders the full set.
+func (g *blockGen) randOff(size uint64) uint64 {
+	if g.spec.ColdFrac > 0 && g.rng.Float64() >= g.spec.ColdFrac {
+		return g.rng.Uint64n(hotSize(size)) &^ 7
+	}
+	return g.rng.Uint64n(size) &^ 7
+}
+
+// strideOff advances one of two stride cursors: the hot cursor walks a
+// cache-resident tile (the blocked/tiled reuse of dense kernels); the cold
+// cursor streams over the full working set. ColdFrac again sets the split;
+// ColdFrac 1 is a pure stream.
+func (g *blockGen) strideOff(size uint64, cold, hot *uint64) uint64 {
+	stride := uint64(g.spec.StrideBytes)
+	if g.spec.ColdFrac > 0 && g.rng.Float64() >= g.spec.ColdFrac {
+		*hot += stride
+		if *hot >= hotSize(size) {
+			*hot = 0
+		}
+		return *hot
+	}
+	*cold += stride
+	if *cold >= size {
+		*cold = 0
+	}
+	return *cold
+}
+
+// addr produces the next effective address and whether it is shared.
+func (g *blockGen) addr() (uint64, bool) {
+	if g.spec.SharedFrac > 0 && g.rng.Float64() < g.spec.SharedFrac {
+		var off uint64
+		if g.spec.StrideBytes > 0 {
+			off = g.strideOff(g.sharedSz, &g.sharedPos, &g.sharedHot)
+		} else {
+			off = g.randOff(g.sharedSz)
+		}
+		return sharedRegionTag + off, true
+	}
+	var off uint64
+	if g.spec.StrideBytes > 0 {
+		off = g.strideOff(g.privSize, &g.pos, &g.hotPos)
+	} else {
+		off = g.randOff(g.privSize)
+	}
+	return g.privBase + off, false
+}
+
+// Gen implements sched.InstGen: it emits the next useful instruction.
+func (g *blockGen) Gen(out *isa.Inst) {
+	*out = isa.Inst{Class: g.class()}
+	switch out.Class {
+	case isa.Load, isa.Store:
+		out.Addr, out.SharedAddr = g.addr()
+	case isa.Branch:
+		i := g.rng.Intn(branchSites)
+		out.Addr = g.sites[i]
+		out.Taken = g.rng.Float64() < g.pTaken[i]
+	}
+
+	// Register dependencies: with probability ChainFrac the instruction
+	// joins one of the thread's Chains dependency chains (round-robin),
+	// depending on that chain's previous instruction. Chains bound the
+	// thread's ILP independent of reorder-window size. Off-chain
+	// instructions are independent fillers.
+	i := g.pos64
+	g.pos64++
+	if g.spec.ChainFrac > 0 && g.rng.Float64() < g.spec.ChainFrac {
+		c := g.chainRR
+		g.chainRR++
+		if g.chainRR >= g.nchains {
+			g.chainRR = 0
+		}
+		if last := g.lastPos[c]; last >= 0 {
+			d := i - last
+			if d >= 1 && d <= isa.MaxDepDistance {
+				out.Dep1 = uint8(d)
+			}
+		}
+		g.lastPos[c] = i
+		if g.spec.CrossDep > 0 && g.rng.Float64() < g.spec.CrossDep {
+			o := (c + 1 + g.rng.Intn(maxInt(g.nchains-1, 1))) % g.nchains
+			if last := g.lastPos[o]; last >= 0 && o != c {
+				d := i - last
+				if d >= 1 && d <= isa.MaxDepDistance {
+					out.Dep2 = uint8(d)
+				}
+			}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// threadScript drives one thread's iteration structure: optional critical
+// section, main compute, periodic barriers, Amdahl serial phases, and I/O
+// sleeps. It implements sched.Script.
+type threadScript struct {
+	inst     *Instance
+	threadID int
+	gen      *blockGen
+
+	iter, iters int64
+	step        int
+}
+
+// Iteration steps, in order.
+const (
+	stepLockAcquire = iota
+	stepCrit
+	stepLockRelease
+	stepMain
+	stepBarrier
+	stepSerialEnter // barrier before the serial phase
+	stepSerialWork  // thread 0 runs the serial section
+	stepSerialExit  // barrier after the serial phase
+	stepSleep
+	stepAdvance
+)
+
+func (ts *threadScript) NextSegment(seg *sched.Segment) bool {
+	sp := ts.inst.Spec
+	for {
+		if ts.iter >= ts.iters {
+			return false
+		}
+		switch ts.step {
+		case stepLockAcquire:
+			ts.step = stepCrit
+			if sp.LockEvery > 0 && ts.iter%int64(sp.LockEvery) == 0 {
+				*seg = sched.Segment{Kind: sched.SegLockAcquire, Lock: ts.inst.lock}
+				return true
+			}
+			// No lock this iteration: skip the critical section too.
+			ts.step = stepMain
+		case stepCrit:
+			ts.step = stepLockRelease
+			*seg = sched.Segment{Kind: sched.SegCompute, N: int64(sp.CritLen), Gen: ts.gen}
+			return true
+		case stepLockRelease:
+			ts.step = stepMain
+			*seg = sched.Segment{Kind: sched.SegLockRelease, Lock: ts.inst.lock}
+			return true
+		case stepMain:
+			ts.step = stepBarrier
+			n := int64(sp.IterLen)
+			if sp.LockEvery > 0 && ts.iter%int64(sp.LockEvery) == 0 {
+				n -= int64(sp.CritLen)
+			}
+			if n > 0 {
+				*seg = sched.Segment{Kind: sched.SegCompute, N: n, Gen: ts.gen}
+				return true
+			}
+		case stepBarrier:
+			ts.step = stepSerialEnter
+			if sp.BarrierEvery > 0 && (ts.iter+1)%int64(sp.BarrierEvery) == 0 {
+				*seg = sched.Segment{Kind: sched.SegBarrier, Barrier: ts.inst.barrier}
+				return true
+			}
+		case stepSerialEnter:
+			if sp.SerialEvery > 0 && (ts.iter+1)%int64(sp.SerialEvery) == 0 {
+				ts.step = stepSerialWork
+				*seg = sched.Segment{Kind: sched.SegBarrier, Barrier: ts.inst.barrier}
+				return true
+			}
+			ts.step = stepSleep
+		case stepSerialWork:
+			ts.step = stepSerialExit
+			if ts.threadID == 0 {
+				*seg = sched.Segment{Kind: sched.SegCompute, N: int64(sp.SerialLen), Gen: ts.gen}
+				return true
+			}
+		case stepSerialExit:
+			ts.step = stepSleep
+			*seg = sched.Segment{Kind: sched.SegBarrier, Barrier: ts.inst.barrier}
+			return true
+		case stepSleep:
+			ts.step = stepAdvance
+			if sp.SleepEvery > 0 && (ts.iter+1)%int64(sp.SleepEvery) == 0 {
+				*seg = sched.Segment{Kind: sched.SegSleep, N: sp.SleepCycles}
+				return true
+			}
+		case stepAdvance:
+			ts.iter++
+			ts.step = stepLockAcquire
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(123)
+	b := NewSplitMix64(123)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitMix64SeedsDiffer(t *testing.T) {
+	a := NewSplitMix64(1)
+	b := NewSplitMix64(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestMix64NotIdentity(t *testing.T) {
+	if Mix64(0) == 0 {
+		t.Fatal("Mix64(0) must not be 0")
+	}
+	if Mix64(1) == Mix64(2) {
+		t.Fatal("Mix64 collision on small inputs")
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := New(77), New(77)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("xoshiro sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(6)
+	sum := 0.0
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(8)
+	const buckets = 10
+	counts := make([]int, buckets)
+	const n = 500_000
+	for i := 0; i < n; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.02 {
+			t.Fatalf("bucket %d count %d deviates >2%% from %v", b, c, want)
+		}
+	}
+}
+
+func TestUint64nPowerOfTwoFast(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(64); v >= 64 {
+			t.Fatalf("Uint64n(64) = %d", v)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(11)
+	hits := 0
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate %v", rate)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(12)
+	sum := 0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(0.5)
+	}
+	mean := float64(sum) / n
+	// Mean of failures before success at p=0.5 is (1-p)/p = 1.
+	if math.Abs(mean-1) > 0.05 {
+		t.Fatalf("Geometric(0.5) mean %v, want ~1", mean)
+	}
+}
+
+func TestGeometricEdges(t *testing.T) {
+	r := New(13)
+	if r.Geometric(1) != 0 {
+		t.Fatal("Geometric(1) must be 0")
+	}
+	if r.Geometric(2) != 0 {
+		t.Fatal("Geometric(>1) must be 0")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(14)
+	sum := 0.0
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(10)
+	}
+	mean := sum / n
+	if math.Abs(mean-10)/10 > 0.02 {
+		t.Fatalf("Exp(10) mean %v", mean)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	r := New(15)
+	if r.Exp(0) != 0 || r.Exp(-3) != 0 {
+		t.Fatal("Exp with non-positive mean must be 0")
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero-seeded generator produced %d distinct values of 100", len(seen))
+	}
+}
