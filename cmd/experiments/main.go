@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -33,10 +35,33 @@ func main() {
 		seed        = flag.Uint64("seed", experiments.DefaultSeed, "workload seed")
 		quiet       = flag.Bool("quiet", false, "skip ASCII plots, print only summaries")
 		svgDir      = flag.String("svgdir", "", "also write each figure as an SVG file into this directory")
+		workers     = flag.Int("workers", 0, "concurrent simulations while filling the run matrix (0 = GOMAXPROCS)")
+		cellTimeout = flag.Duration("cell-timeout", 0, "wall-clock budget per benchmark run (0 = none)")
+		progress    = flag.Bool("progress", true, "print one line per completed matrix cell")
 	)
 	flag.Parse()
 
-	runner := &runner{seed: *seed, quiet: *quiet, svgDir: *svgDir}
+	// Ctrl-C cancels the sweep; cells already simulated are kept, so the
+	// figures render from whatever completed (partial figures show up as a
+	// reduced point count).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runner := &runner{seed: *seed, quiet: *quiet, svgDir: *svgDir, ctx: ctx}
+	runner.pool = &experiments.Runner{Workers: *workers, CellTimeout: *cellTimeout}
+	if *progress {
+		runner.pool.OnEvent = func(ev experiments.Event) {
+			if ev.Cached {
+				return
+			}
+			errMsg := ""
+			if ev.Err != nil {
+				errMsg = ev.Err.Error()
+			}
+			fmt.Printf("  %s\n", report.CellProgress(ev.Seq, ev.Total,
+				ev.Ref.Sys, ev.Ref.Bench, ev.Ref.SMT, ev.Elapsed.Seconds(), errMsg))
+		}
+	}
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -46,6 +71,7 @@ func main() {
 	switch {
 	case *all:
 		runner.table1()
+		runner.prefetchAll()
 		for _, f := range []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "17"} {
 			runner.figure(f)
 		}
@@ -65,13 +91,67 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	runner.campaignSummary()
 }
 
 type runner struct {
 	seed     uint64
 	quiet    bool
 	svgDir   string
+	ctx      context.Context
+	pool     *experiments.Runner
+	total    experiments.Stats
 	matrices map[string]*experiments.Matrix
+}
+
+// sweep fills cells through the shared worker pool, accumulating
+// campaign-wide statistics.
+func (r *runner) sweep(specs ...experiments.SweepSpec) {
+	stats, err := r.pool.Campaign(r.ctx, specs)
+	r.total.Cells += stats.Cells
+	r.total.Failed += stats.Failed
+	r.total.Skipped += stats.Skipped
+	r.total.Elapsed += stats.Elapsed
+	r.total.CellTime += stats.CellTime
+	if r.total.Workers < stats.Workers {
+		r.total.Workers = stats.Workers
+	}
+	if stats.CellTime > 0 {
+		fmt.Printf("  [sweep: %s]\n", report.RunStats(stats.Cells, stats.Failed, stats.Skipped,
+			stats.Elapsed.Seconds(), stats.CellTime.Seconds(), stats.Speedup(), stats.Workers))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep interrupted: %v (rendering partial results)\n", err)
+	}
+}
+
+// prefetchFig fills one figure's cells concurrently before rendering.
+func (r *runner) prefetchFig(fig string) {
+	benches, levels, sys, err := experiments.CellsFor(fig)
+	if err != nil {
+		return // table-style figures prefetch nothing
+	}
+	r.sweep(experiments.SweepSpec{Matrix: r.matrix(sys), Benches: benches, SMTs: levels})
+}
+
+// prefetchAll fills every figure's cells in one shared-pool campaign, so
+// the whole-evaluation replay parallelises across systems too.
+func (r *runner) prefetchAll() {
+	var specs []experiments.SweepSpec
+	for _, fc := range experiments.AllFigureCells() {
+		specs = append(specs, experiments.SweepSpec{Matrix: r.matrix(fc.Sys), Benches: fc.Benches, SMTs: fc.SMTs})
+	}
+	fmt.Println("== Filling the full run matrix (parallel deterministic sweep) ==")
+	r.sweep(specs...)
+}
+
+// campaignSummary reports the whole invocation's sweep statistics.
+func (r *runner) campaignSummary() {
+	if r.total.CellTime == 0 {
+		return
+	}
+	fmt.Printf("[campaign total: %s]\n", report.RunStats(r.total.Cells, r.total.Failed, r.total.Skipped,
+		r.total.Elapsed.Seconds(), r.total.CellTime.Seconds(), r.total.Speedup(), r.total.Workers))
 }
 
 // writeSVG saves an SVG document for a figure when -svgdir is set.
@@ -96,6 +176,11 @@ func (r *runner) matrix(sys experiments.System) *experiments.Matrix {
 		return m
 	}
 	m := experiments.NewMatrix(sys, r.seed)
+	// The render path (figure code calling Matrix.Cell) honours the same
+	// interrupt context and per-cell budget as the worker pool: after a
+	// Ctrl-C or timed-out sweep, figures render the completed cells instead
+	// of re-simulating the missing ones without bound.
+	m.SetCellPolicy(r.ctx, r.pool.CellTimeout)
 	r.matrices[sys.Name] = m
 	return m
 }
@@ -111,6 +196,7 @@ func (r *runner) table1() {
 
 func (r *runner) figure(fig string) {
 	t0 := time.Now()
+	r.prefetchFig(fig)
 	switch fig {
 	case "1":
 		m := r.matrix(experiments.P7OneChip)
@@ -263,6 +349,7 @@ func (r *runner) scatterFigure(fig string) {
 // single-chip POWER7 set.
 func (r *runner) ablation() {
 	m := r.matrix(experiments.P7OneChip)
+	r.sweep(experiments.SweepSpec{Matrix: m, Benches: experiments.P7Benchmarks, SMTs: []int{1, 4}})
 	res := experiments.AblationStudy(m, experiments.P7Benchmarks, 4, 1)
 	fmt.Println("== Ablation & baseline study: SMT4-vs-SMT1 preference prediction (POWER7) ==")
 	fmt.Println("(each predictor gets its best threshold and orientation)")
@@ -277,6 +364,7 @@ func (r *runner) ablation() {
 // portability validates the metric on the GenericSMT8 architecture.
 func (r *runner) portability() {
 	m := r.matrix(experiments.SMT8OneChip)
+	r.sweep(experiments.SweepSpec{Matrix: m, Benches: experiments.PortabilityBenchmarks, SMTs: []int{1, 4, 8}})
 	res := experiments.Portability(m)
 	for _, fr := range []experiments.FigResult{res.Smt8VsSmt1, res.Smt8VsSmt4} {
 		fmt.Printf("== Portability: %s ==\n", fr.Title)

@@ -3,9 +3,7 @@ package experiments
 import "testing"
 
 func TestAblationStudyRuns(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation-backed test")
-	}
+	skipHeavySim(t)
 	m := NewMatrix(P7OneChip, DefaultSeed)
 	subset := []string{"EP", "Blackscholes", "Stream", "SSCA2", "SPECjbb_contention", "Dedup", "Swim", "BT"}
 	res := AblationStudy(m, subset, 4, 1)
@@ -51,9 +49,7 @@ func TestSensitivityVariantsValid(t *testing.T) {
 }
 
 func TestSensitivityBaseline(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation-backed test")
-	}
+	skipHeavySim(t)
 	rows := Sensitivity(DefaultSeed, SensitivityVariants[0]) // baseline only, for speed
 	if rows[0].Variant != "baseline" {
 		t.Fatal("first variant must be the baseline")

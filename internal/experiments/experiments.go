@@ -9,9 +9,12 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/counters"
@@ -63,19 +66,52 @@ const DefaultSeed = 42
 const MaxRunCycles = 400_000_000
 
 // Matrix runs and caches benchmark × SMT-level cells for one system.
+//
+// Every cell is computed on a fresh, single-goroutine machine whose only
+// randomness flows through xrand streams seeded from (Seed, benchmark name,
+// thread index) — never from the wall clock, goroutine identity, or map
+// iteration order. Distinct cells therefore compute bit-identical results
+// no matter how many goroutines fill the matrix, in what order they run,
+// or what GOMAXPROCS is; see DESIGN.md §"Determinism".
 type Matrix struct {
 	Sys  System
 	Seed uint64
 
 	mu    sync.Mutex
-	cells map[string]*Cell
+	cells map[string]*cellEntry
 	// archDesc is a cached description for metric evaluation.
 	archDesc *arch.Desc
+	// baseCtx and cellBudget govern the context-free accessors (Cell,
+	// Speedup) used by the figure render path; see SetCellPolicy.
+	baseCtx    context.Context
+	cellBudget time.Duration
+}
+
+// SetCellPolicy installs the context and per-simulation wall-clock budget
+// consulted by the context-free accessors (Cell, Speedup) — the figure
+// render path. Without a policy those accessors run missing cells to
+// completion on context.Background; with one, rendering after a canceled or
+// timed-out sweep reports the missing cells as failed instead of silently
+// re-simulating them without bound, so partial figures really are partial.
+// A zero cellBudget means no per-cell deadline.
+func (m *Matrix) SetCellPolicy(ctx context.Context, cellBudget time.Duration) {
+	m.mu.Lock()
+	m.baseCtx = ctx
+	m.cellBudget = cellBudget
+	m.mu.Unlock()
+}
+
+// cellEntry is the singleflight slot for one (bench, smt) cell: the first
+// goroutine to lock it runs the simulation, later arrivals wait on the lock
+// and read the stored result instead of duplicating minutes of work.
+type cellEntry struct {
+	mu sync.Mutex
+	c  *Cell
 }
 
 // NewMatrix builds an empty run matrix for a system.
 func NewMatrix(sys System, seed uint64) *Matrix {
-	return &Matrix{Sys: sys, Seed: seed, cells: map[string]*Cell{}, archDesc: sys.Arch()}
+	return &Matrix{Sys: sys, Seed: seed, cells: map[string]*cellEntry{}, archDesc: sys.Arch()}
 }
 
 // Arch returns the system's architecture description.
@@ -85,34 +121,87 @@ func cellKey(bench string, smt int) string { return fmt.Sprintf("%s@%d", bench, 
 
 // Cell returns the cached result for (bench, smt), running the simulation on
 // first use. It is safe for concurrent use; distinct cells may compute in
-// parallel.
+// parallel, and concurrent requests for the same cell share one computation.
+// Cancellation and per-cell deadlines follow the matrix's SetCellPolicy.
 func (m *Matrix) Cell(bench string, smt int) *Cell {
+	m.mu.Lock()
+	ctx, budget := m.baseCtx, m.cellBudget
+	m.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if budget > 0 {
+		cctx, cancel := context.WithTimeout(ctx, budget)
+		defer cancel()
+		ctx = cctx
+	}
+	return m.CellCtx(ctx, bench, smt)
+}
+
+// CellCtx is Cell with cancellation: a cell interrupted by ctx reports the
+// context error (alongside whatever counters the partial run accumulated)
+// but is NOT cached, so a later call with a live context recomputes it.
+// Completed cells — including deterministic failures such as the cycle
+// limit — are cached permanently.
+func (m *Matrix) CellCtx(ctx context.Context, bench string, smt int) *Cell {
 	key := cellKey(bench, smt)
 	m.mu.Lock()
-	if c, ok := m.cells[key]; ok {
-		m.mu.Unlock()
+	e, ok := m.cells[key]
+	if !ok {
+		e = &cellEntry{}
+		m.cells[key] = e
+	}
+	m.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.c != nil {
+		return e.c
+	}
+	if err := ctx.Err(); err != nil {
+		// Canceled before we started: report without running or caching.
+		return &Cell{Bench: bench, SMT: smt, Err: err}
+	}
+	c := m.run(ctx, bench, smt)
+	if c.Err != nil && errors.Is(c.Err, cpu.ErrCanceled) {
+		// Interrupted mid-run: hand back the partial result uncached.
 		return c
 	}
-	m.mu.Unlock()
+	e.c = c
+	return c
+}
 
-	c := m.run(bench, smt)
-
+// Cached returns the completed cells of the matrix in deterministic
+// (bench, smt) key order — the partial results available after a canceled
+// or timed-out sweep.
+func (m *Matrix) Cached() []*Cell {
 	m.mu.Lock()
-	// Another goroutine may have raced us; keep the first result (both are
-	// deterministic and identical anyway).
-	if prev, ok := m.cells[key]; ok {
-		c = prev
-	} else {
-		m.cells[key] = c
+	entries := make([]*cellEntry, 0, len(m.cells))
+	for _, e := range m.cells {
+		entries = append(entries, e)
 	}
 	m.mu.Unlock()
-	return c
+	var out []*Cell
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.c != nil {
+			out = append(out, e.c)
+		}
+		e.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].SMT < out[j].SMT
+	})
+	return out
 }
 
 // run executes one cell: a fresh machine, cold caches, the workload
 // instantiated with one software thread per hardware thread (the paper's
 // methodology), run to completion.
-func (m *Matrix) run(bench string, smt int) *Cell {
+func (m *Matrix) run(ctx context.Context, bench string, smt int) *Cell {
 	c := &Cell{Bench: bench, SMT: smt}
 	spec, err := workload.Get(bench)
 	if err != nil {
@@ -133,7 +222,7 @@ func (m *Matrix) run(bench string, smt int) *Cell {
 		c.Err = err
 		return c
 	}
-	c.Wall, c.Err = mach.Run(inst.Sources(), MaxRunCycles)
+	c.Wall, c.Err = mach.RunContext(ctx, inst.Sources(), MaxRunCycles)
 	c.Snap = mach.Counters()
 	c.Metric = smtsm.Compute(m.archDesc, &c.Snap)
 	return c
@@ -151,34 +240,11 @@ func (m *Matrix) Speedup(bench string, smtHigh, smtLow int) float64 {
 }
 
 // Prefetch computes the given cells using up to workers goroutines
-// (defaulting to GOMAXPROCS). Each cell's simulation is single-threaded and
-// deterministic; only distinct cells run concurrently.
+// (defaulting to GOMAXPROCS). It is a convenience wrapper around
+// (*Runner).Sweep with no cancellation, timeout, or progress reporting.
 func (m *Matrix) Prefetch(benches []string, smts []int, workers int) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	type job struct {
-		bench string
-		smt   int
-	}
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				m.Cell(j.bench, j.smt)
-			}
-		}()
-	}
-	for _, b := range benches {
-		for _, s := range smts {
-			jobs <- job{b, s}
-		}
-	}
-	close(jobs)
-	wg.Wait()
+	r := Runner{Workers: workers}
+	r.Sweep(context.Background(), m, benches, smts)
 }
 
 // Benchmark lists, per figure, transcribed from the paper's figure labels.

@@ -70,9 +70,7 @@ func TestCellsFor(t *testing.T) {
 }
 
 func TestMatrixCachesCells(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation-backed test")
-	}
+	skipHeavySim(t)
 	m := NewMatrix(P7OneChip, DefaultSeed)
 	c1 := m.Cell("EP", 1)
 	c2 := m.Cell("EP", 1)
@@ -88,9 +86,7 @@ func TestMatrixCachesCells(t *testing.T) {
 }
 
 func TestSpeedupDefinition(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation-backed test")
-	}
+	skipHeavySim(t)
 	m := NewMatrix(P7OneChip, DefaultSeed)
 	s := m.Speedup("EP", 4, 1)
 	w4 := m.Cell("EP", 4).Wall
@@ -105,9 +101,7 @@ func TestSpeedupDefinition(t *testing.T) {
 // hours): the metric measured at SMT4 separates SMT4-preferring from
 // SMT1-preferring workloads.
 func TestFig6HeadlineClaims(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation-backed test")
-	}
+	skipHeavySim(t)
 	m := NewMatrix(P7OneChip, DefaultSeed)
 	subset := []string{"EP", "Blackscholes", "Fluidanimate", "Stream", "SSCA2", "SPECjbb_contention", "Dedup", "Swim"}
 	res := scatter(m, "fig6-subset", "subset", subset, 4, 4, 1)
@@ -144,9 +138,7 @@ func TestFig6HeadlineClaims(t *testing.T) {
 // cannot foresee contention, so contended workloads look as SMT-friendly as
 // scalable ones.
 func TestFig11MetricBreaksDownAtSMT1(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation-backed test")
-	}
+	skipHeavySim(t)
 	m := NewMatrix(P7OneChip, DefaultSeed)
 	// At SMT4 the contended workload's metric towers over EP's; at SMT1
 	// the gap collapses (less contention is visible with 8 threads).
@@ -169,9 +161,7 @@ func TestFig11MetricBreaksDownAtSMT1(t *testing.T) {
 // TestFig2NoStrongCorrelation verifies the motivation result: naive
 // single-number statistics do not predict SMT speedup.
 func TestFig2NoStrongCorrelation(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation-backed test")
-	}
+	skipHeavySim(t)
 	m := NewMatrix(P7OneChip, DefaultSeed)
 	// A subset keeps the runtime bounded; the correlation claim holds on
 	// any diverse slice of the suite.
@@ -191,9 +181,7 @@ func TestAmbiguousBand(t *testing.T) {
 	// Synthetic matrix-free check through the scatter helper is not
 	// possible (it needs cells), so verify the band arithmetic on a tiny
 	// simulated subset instead.
-	if testing.Short() {
-		t.Skip("simulation-backed test")
-	}
+	skipHeavySim(t)
 	m := NewMatrix(P7OneChip, DefaultSeed)
 	res := scatter(m, "band", "band", []string{"EP", "Stream"}, 4, 4, 1)
 	// EP (winner, low metric) and Stream (loser, high metric) separate

@@ -180,8 +180,14 @@ type Fig1Result struct {
 
 // Fig1 reproduces Fig. 1: Equake degrades, MG is indifferent, EP gains.
 func Fig1(m *Matrix) Fig1Result {
+	return Fig1Of(m, Fig1Benchmarks)
+}
+
+// Fig1Of computes the Fig. 1 normalisation over an explicit benchmark set
+// (golden tests pin reduced sets to keep regression runs fast).
+func Fig1Of(m *Matrix, benches []string) Fig1Result {
 	r := Fig1Result{}
-	for _, b := range Fig1Benchmarks {
+	for _, b := range benches {
 		r.Benches = append(r.Benches, b)
 		r.Normalized = append(r.Normalized, m.Speedup(b, 4, 1))
 	}
@@ -255,8 +261,14 @@ type Fig7Row struct {
 // benchmarks, ordered by decreasing SMT4/SMT1 speedup, against the ideal
 // POWER7 SMT mix.
 func Fig7(m *Matrix) []Fig7Row {
+	return Fig7Of(m, Fig7Benchmarks)
+}
+
+// Fig7Of computes the Fig. 7 instruction-mix rows over an explicit
+// benchmark set, appending the ideal-mix reference bar.
+func Fig7Of(m *Matrix, benches []string) []Fig7Row {
 	var rows []Fig7Row
-	for _, b := range Fig7Benchmarks {
+	for _, b := range benches {
 		c := m.Cell(b, 4)
 		if c.Err != nil {
 			continue
@@ -292,6 +304,34 @@ func Fig17(m *Matrix) (threshold.PPIResult, error) {
 	return threshold.PPISearch(figPoints(Fig6(m)))
 }
 
+// Figure computes the dataset behind one of the metric-vs-speedup scatter
+// figures by number ("6", "8"-"15"). Special-format figures (1, 2, 7, 16,
+// 17) have their own dataset types and are not dispatched here.
+func Figure(fig string, m *Matrix) (FigResult, error) {
+	switch fig {
+	case "6":
+		return Fig6(m), nil
+	case "8":
+		return Fig8(m), nil
+	case "9":
+		return Fig9(m), nil
+	case "10":
+		return Fig10(m), nil
+	case "11":
+		return Fig11(m), nil
+	case "12":
+		return Fig12(m), nil
+	case "13":
+		return Fig13(m), nil
+	case "14":
+		return Fig14(m), nil
+	case "15":
+		return Fig15(m), nil
+	default:
+		return FigResult{}, fmt.Errorf("experiments: no scatter figure %q", fig)
+	}
+}
+
 // figPoints converts figure points to threshold observations.
 func figPoints(r FigResult) []threshold.Point {
 	pts := make([]threshold.Point, 0, len(r.Points))
@@ -301,11 +341,21 @@ func figPoints(r FigResult) []threshold.Point {
 	return pts
 }
 
-// CellsFor returns the (bench, level) cells a figure needs, for prefetching.
+// CellsFor returns exactly the (bench, level) cells a figure needs, for
+// prefetching: the figure's own benchmark list, and only the SMT levels its
+// metric and speedup axes read.
 func CellsFor(fig string) (benches []string, levels []int, sys System, err error) {
 	switch fig {
-	case "1", "2", "6", "8", "9", "16", "17", "7":
-		return P7Benchmarks, []int{1, 2, 4}, P7OneChip, nil
+	case "1":
+		return Fig1Benchmarks, []int{1, 4}, P7OneChip, nil
+	case "7":
+		return Fig7Benchmarks, []int{1, 4}, P7OneChip, nil
+	case "2", "6", "16", "17":
+		return P7Benchmarks, []int{1, 4}, P7OneChip, nil
+	case "8":
+		return P7Benchmarks, []int{2, 4}, P7OneChip, nil
+	case "9":
+		return P7Benchmarks, []int{1, 2}, P7OneChip, nil
 	case "11":
 		return Fig11Benchmarks, []int{1, 4}, P7OneChip, nil
 	case "10":
@@ -320,5 +370,38 @@ func CellsFor(fig string) (benches []string, levels []int, sys System, err error
 		return Fig15Benchmarks, []int{1, 2}, P7TwoChip, nil
 	default:
 		return nil, nil, System{}, fmt.Errorf("experiments: unknown figure %q", fig)
+	}
+}
+
+// union merges benchmark lists preserving first-seen order.
+func union(lists ...[]string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, l := range lists {
+		for _, b := range l {
+			if !seen[b] {
+				seen[b] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// FigureCells describes one system's slice of the full-evaluation campaign.
+type FigureCells struct {
+	Sys     System
+	Benches []string
+	SMTs    []int
+}
+
+// AllFigureCells returns the cell sets that cover every table and figure of
+// the paper — the full measurement campaign, deduplicated per system so a
+// parallel sweep fills each cell exactly once.
+func AllFigureCells() []FigureCells {
+	return []FigureCells{
+		{Sys: P7OneChip, Benches: P7Benchmarks, SMTs: []int{1, 2, 4}},
+		{Sys: I7OneChip, Benches: union(I7Benchmarks, Fig12Benchmarks), SMTs: []int{1, 2}},
+		{Sys: P7TwoChip, Benches: union(Fig13Benchmarks, Fig14Benchmarks, Fig15Benchmarks), SMTs: []int{1, 2, 4}},
 	}
 }

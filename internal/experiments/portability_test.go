@@ -24,9 +24,7 @@ func TestPortabilityBenchmarksResolve(t *testing.T) {
 }
 
 func TestPortabilityStudy(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation-backed test")
-	}
+	skipHeavySim(t)
 	m := NewMatrix(SMT8OneChip, DefaultSeed)
 	// A reduced set keeps this test to tens of seconds.
 	res := scatter(m, "smt8-subset", "subset",

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets multi-minute simulation suites (the golden sweep and the
+// headline-claim tests) skip under the race detector, whose 10-20× slowdown
+// would push them past CI budgets. The runner's concurrency tests — the code
+// the detector is actually for — still run.
+const raceEnabled = true

@@ -1,6 +1,10 @@
 package experiments
 
-import "repro/internal/arch"
+import (
+	"context"
+
+	"repro/internal/arch"
+)
 
 // Sensitivity study: how robust is the metric's class separation to the
 // machine parameters the simulator had to choose? For each variant of the
@@ -56,12 +60,20 @@ type SensitivityRow struct {
 }
 
 // Sensitivity runs the Fig. 6 methodology per architecture variant; with no
-// explicit variants it runs the default set.
+// explicit variants it runs the default set. The variants' matrices fill
+// through one shared worker pool, so the study parallelises across variants
+// as well as across cells.
 func Sensitivity(seed uint64, variants ...SensitivityVariant) []SensitivityRow {
 	if len(variants) == 0 {
 		variants = SensitivityVariants
 	}
-	var rows []SensitivityRow
+	type entry struct {
+		v       SensitivityVariant
+		m       *Matrix // nil when the mutated architecture is invalid
+		invalid error
+	}
+	var entries []entry
+	var specs []SweepSpec
 	for _, v := range variants {
 		v := v
 		sys := System{
@@ -74,13 +86,25 @@ func Sensitivity(seed uint64, variants ...SensitivityVariant) []SensitivityRow {
 			Chips: 1,
 		}
 		if err := sys.Arch().Validate(); err != nil {
-			rows = append(rows, SensitivityRow{Variant: v.Name + " (invalid: " + err.Error() + ")"})
+			entries = append(entries, entry{v: v, invalid: err})
 			continue
 		}
 		m := NewMatrix(sys, seed)
-		res := scatter(m, "sens", v.Name, SensitivityBenchmarks, 4, 4, 1)
+		entries = append(entries, entry{v: v, m: m})
+		specs = append(specs, SweepSpec{Matrix: m, Benches: SensitivityBenchmarks, SMTs: []int{1, 4}})
+	}
+	r := Runner{}
+	r.Campaign(context.Background(), specs)
+
+	var rows []SensitivityRow
+	for _, e := range entries {
+		if e.m == nil {
+			rows = append(rows, SensitivityRow{Variant: e.v.Name + " (invalid: " + e.invalid.Error() + ")"})
+			continue
+		}
+		res := scatter(e.m, "sens", e.v.Name, SensitivityBenchmarks, 4, 4, 1)
 		rows = append(rows, SensitivityRow{
-			Variant:   v.Name,
+			Variant:   e.v.Name,
 			Threshold: res.Threshold,
 			Accuracy:  res.Accuracy,
 			Spearman:  res.Spearman,

@@ -1,0 +1,18 @@
+package experiments
+
+import "testing"
+
+// skipHeavySim gates the multi-minute simulation suites: they skip in
+// -short runs and under the race detector (whose 10-20× slowdown would push
+// them past any CI budget). The runner's concurrency tests keep running
+// under -race — those are the tests the detector exists for, and they sweep
+// only the fastest-simulating workloads.
+func skipHeavySim(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("simulation-backed test")
+	}
+	if raceEnabled {
+		t.Skip("minutes of simulation; covered by the non-race run")
+	}
+}

@@ -1,0 +1,132 @@
+// Package golden pins test outputs to canonical JSON files under
+// testdata/golden/. A golden test serializes a dataset (a table's rows, a
+// figure's points) and compares it byte-for-byte against the checked-in
+// artifact; any change to simulator semantics then surfaces as a reviewable
+// diff instead of silently shifting the paper's reproduced numbers.
+//
+// Usage, from any package's tests:
+//
+//	golden.Assert(t, "fig6", dataset)
+//
+// compares against <pkg>/testdata/golden/fig6.json. Regenerate artifacts
+// after an intentional change with:
+//
+//	go test ./... -run TestGolden -update
+//
+// The serialization is canonical: values are round-tripped through
+// encoding/json's generic form, so map keys sort lexicographically, struct
+// field names come out in sorted order too, and floats print in Go's
+// shortest-exact form. Two semantically identical datasets always produce
+// identical bytes, making the comparison (and git diffs) deterministic.
+package golden
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Update is the -update flag: when set, Assert rewrites golden files with
+// the current output instead of comparing against them.
+var Update = flag.Bool("update", false, "rewrite golden files with current test output")
+
+// Marshal returns the canonical JSON encoding of v: two-space indented,
+// trailing newline, map and object keys in sorted order.
+func Marshal(v any) ([]byte, error) {
+	// First marshal respects json struct tags; the round-trip through the
+	// generic form then canonicalizes key order.
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("golden: marshal: %w", err)
+	}
+	var generic any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		return nil, fmt.Errorf("golden: canonicalize: %w", err)
+	}
+	out, err := json.MarshalIndent(generic, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("golden: canonicalize: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// Path returns the golden file path for a name, relative to the test's
+// working directory (the package under test).
+func Path(name string) string {
+	return filepath.Join("testdata", "golden", name+".json")
+}
+
+// Assert compares v's canonical JSON against testdata/golden/<name>.json.
+// Under -update it (re)writes the file instead. A missing file fails the
+// test with instructions rather than auto-creating, so CI cannot
+// accidentally bless an empty baseline.
+func Assert(t testing.TB, name string, v any) {
+	t.Helper()
+	got, err := Marshal(v)
+	if err != nil {
+		t.Fatalf("golden %s: %v", name, err)
+	}
+	path := Path(name)
+	if *Update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("golden %s: %v", name, err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("golden %s: %v", name, err)
+		}
+		t.Logf("golden %s: updated %s (%d bytes)", name, path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden %s: %v (run `go test -run %s -update` to create it)", name, err, t.Name())
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("golden %s: output differs from %s (rerun with -update after verifying the change):\n%s",
+			name, path, Diff(want, got))
+	}
+}
+
+// Diff renders a compact line diff between two golden byte slices: the
+// first maxDiffLines differing lines with line numbers, plus a summary.
+// It is intentionally not a minimal edit script — golden diffs are meant to
+// be regenerated and reviewed in git, not patched by hand.
+func Diff(want, got []byte) string {
+	const maxDiffLines = 20
+	wl := strings.Split(string(want), "\n")
+	gl := strings.Split(string(got), "\n")
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	var b strings.Builder
+	shown := 0
+	differing := 0
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w == g {
+			continue
+		}
+		differing++
+		if shown < maxDiffLines {
+			fmt.Fprintf(&b, "line %d:\n  -%s\n  +%s\n", i+1, w, g)
+			shown++
+		}
+	}
+	if differing > shown {
+		fmt.Fprintf(&b, "... and %d more differing lines\n", differing-shown)
+	}
+	fmt.Fprintf(&b, "(%d lines want, %d lines got)", len(wl), len(gl))
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package golden
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type sample struct {
+	B float64 `json:"beta"`
+	A string  `json:"alpha"`
+	M map[string]int
+}
+
+func TestMarshalCanonical(t *testing.T) {
+	v := sample{B: 0.1, A: "x", M: map[string]int{"z": 1, "a": 2}}
+	got, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys come out sorted regardless of struct field or map insertion
+	// order, and the document ends in exactly one newline.
+	want := "{\n  \"M\": {\n    \"a\": 2,\n    \"z\": 1\n  },\n  \"alpha\": \"x\",\n  \"beta\": 0.1\n}\n"
+	if string(got) != want {
+		t.Fatalf("canonical form mismatch:\n got: %q\nwant: %q", got, want)
+	}
+	// Identical values marshal to identical bytes, run after run.
+	again, err := Marshal(sample{B: 0.1, A: "x", M: map[string]int{"a": 2, "z": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(got) {
+		t.Fatal("canonical marshal is not deterministic")
+	}
+}
+
+func TestMarshalFloatsExact(t *testing.T) {
+	got, err := Marshal([]float64{1.0 / 3.0, 1e-9, 123456789.125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"0.3333333333333333", "1e-9", "123456789.125"} {
+		if !strings.Contains(string(got), frag) {
+			t.Errorf("canonical floats %s missing %q", got, frag)
+		}
+	}
+}
+
+func TestAssertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+
+	v := map[string]any{"cells": 3, "speedup": 1.25}
+	// First pass with -update creates the artifact…
+	*Update = true
+	Assert(t, "roundtrip", v)
+	*Update = false
+	if _, err := os.Stat(filepath.Join(dir, "testdata", "golden", "roundtrip.json")); err != nil {
+		t.Fatalf("update did not write the golden file: %v", err)
+	}
+	// …and the comparison pass accepts the identical value.
+	Assert(t, "roundtrip", v)
+}
+
+func TestDiffReportsChangedLines(t *testing.T) {
+	want := []byte("a\nb\nc\n")
+	got := []byte("a\nX\nc\n")
+	d := Diff(want, got)
+	if !strings.Contains(d, "line 2") || !strings.Contains(d, "-b") || !strings.Contains(d, "+X") {
+		t.Fatalf("diff missing changed line: %s", d)
+	}
+}

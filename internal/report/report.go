@@ -219,3 +219,29 @@ func Bars(title string, labels []string, values []float64, unit string) string {
 	}
 	return b.String()
 }
+
+// CellProgress formats one completed sweep cell as a progress line:
+// "[ 12/ 84] POWER7 EP@SMT4    3.2s". A non-empty errMsg is appended as
+// "  ERROR: ...".
+func CellProgress(seq, total int, sys, bench string, smt int, elapsedSec float64, errMsg string) string {
+	s := fmt.Sprintf("[%3d/%3d] %s %s@SMT%d  %5.1fs", seq, total, sys, bench, smt, elapsedSec)
+	if errMsg != "" {
+		s += "  ERROR: " + errMsg
+	}
+	return s
+}
+
+// RunStats formats a sweep's (or whole campaign's) timing summary:
+// "84 cells (1 failed, 2 skipped), 12.3s wall, 96.1s serial-equivalent,
+// 7.8x speedup, 8 workers". The parenthetical is omitted when nothing
+// failed or was skipped.
+func RunStats(cells, failed, skipped int, wallSec, serialSec, speedup float64, workers int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d cells", cells)
+	if failed > 0 || skipped > 0 {
+		fmt.Fprintf(&b, " (%d failed, %d skipped)", failed, skipped)
+	}
+	fmt.Fprintf(&b, ", %.1fs wall, %.1fs serial-equivalent, %.1fx speedup, %d workers",
+		wallSec, serialSec, speedup, workers)
+	return b.String()
+}

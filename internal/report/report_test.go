@@ -113,3 +113,25 @@ func TestClamp(t *testing.T) {
 		t.Fatal("clamp broken")
 	}
 }
+
+func TestCellProgress(t *testing.T) {
+	s := CellProgress(12, 84, "POWER7", "EP", 4, 3.25, "")
+	want := "[ 12/ 84] POWER7 EP@SMT4    3.2s"
+	if s != want {
+		t.Errorf("CellProgress = %q, want %q", s, want)
+	}
+	if s := CellProgress(1, 2, "i7", "FT", 2, 0.5, "boom"); !strings.HasSuffix(s, "ERROR: boom") {
+		t.Errorf("error suffix missing: %q", s)
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	s := RunStats(84, 0, 0, 12.34, 96.1, 7.79, 8)
+	want := "84 cells, 12.3s wall, 96.1s serial-equivalent, 7.8x speedup, 8 workers"
+	if s != want {
+		t.Errorf("RunStats = %q, want %q", s, want)
+	}
+	if s := RunStats(5, 1, 2, 1, 1, 1, 1); !strings.Contains(s, "(1 failed, 2 skipped)") {
+		t.Errorf("parenthetical missing: %q", s)
+	}
+}

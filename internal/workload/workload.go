@@ -218,7 +218,7 @@ func Instantiate(spec *Spec, numThreads int, seed uint64) (*Instance, error) {
 	if iters < 1 {
 		iters = 1
 	}
-	sm := xrand.NewSplitMix64(seed ^ xrand.Mix64(hashName(spec.Name)))
+	sm := xrand.NewSplitMix64(seed ^ xrand.Mix64(xrand.HashString(spec.Name)))
 	for i := 0; i < numThreads; i++ {
 		gen := newBlockGen(spec, i, sm.Next())
 		script := &threadScript{inst: inst, threadID: i, iters: iters, gen: gen}
@@ -253,13 +253,4 @@ func (w *Instance) SpinInstrs() int64 {
 		n += t.SpinInstrs
 	}
 	return n
-}
-
-func hashName(s string) uint64 {
-	var h uint64 = 1469598103934665603
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
 }

@@ -42,6 +42,26 @@ func Mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// HashString hashes a name to a stable 64-bit stream identifier (FNV-1a).
+// Combined with Mix64 it derives independent deterministic seeds per named
+// entity — the per-cell seed derivation of the experiment engine: workload
+// streams are seeded from (user seed, HashString(benchmark), thread index)
+// and from nothing else, which is what makes sweep artifacts bit-identical
+// under any goroutine schedule.
+//
+// The offset basis is this repository's historical constant (it predates
+// this package and is baked into every recorded trace and golden artifact);
+// it intentionally differs from the textbook FNV basis and must never
+// change.
+func HashString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // Rand is the simulator's general-purpose generator (xoshiro256**).
 type Rand struct {
 	s0, s1, s2, s3 uint64

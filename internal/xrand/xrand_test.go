@@ -197,3 +197,19 @@ func TestZeroSeedValid(t *testing.T) {
 		t.Fatalf("zero-seeded generator produced %d distinct values of 100", len(seen))
 	}
 }
+
+// TestHashStringPinned pins the seed-derivation hash: these values feed
+// every workload's instruction streams, so a change here would silently
+// invalidate all golden artifacts.
+func TestHashStringPinned(t *testing.T) {
+	want := map[string]uint64{
+		"":       1469598103934665603,
+		"EP":     11190447820291810502,
+		"Stream": 13309879947970650987,
+	}
+	for s, w := range want {
+		if got := HashString(s); got != w {
+			t.Errorf("HashString(%q) = %d, want %d", s, got, w)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Reproduce the CI pipeline (.github/workflows/ci.yml) locally.
+#
+# Usage:
+#   scripts/ci.sh         # full pipeline
+#   scripts/ci.sh quick   # skip the slow stages (race, fuzz)
+#
+# Stages mirror the workflow jobs one-to-one so a green local run means a
+# green CI run.
+set -eu
+
+quick=${1:-}
+
+step() {
+	echo
+	echo "==> $*"
+}
+
+step "build"
+go build ./...
+
+step "vet"
+go vet ./...
+
+step "gofmt gate"
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$out" >&2
+	exit 1
+fi
+
+step "unit & golden tests"
+go test -count=1 ./...
+
+step "bench smoke"
+go test -run '^$' -bench . -benchtime=1x ./...
+
+if [ "$quick" = "quick" ]; then
+	echo
+	echo "quick mode: skipping race and fuzz stages"
+	exit 0
+fi
+
+step "race detector (concurrent packages)"
+go test -race -count=1 ./internal/experiments ./internal/cpu ./internal/sched
+
+step "fuzz smoke (10s per target)"
+go test -run '^$' -fuzz FuzzReader -fuzztime 10s ./internal/trace
+go test -run '^$' -fuzz FuzzSpecJSON -fuzztime 10s ./internal/workload
+
+echo
+echo "CI pipeline passed."
