@@ -19,6 +19,10 @@ func main() {
 	sysName := flag.String("sys", "p7", "system: p7, p7x2, i7")
 	workers := flag.Int("workers", 0, "concurrent simulations while filling the matrix (0 = GOMAXPROCS)")
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "calib: -workers %d, need >= 0 (0 = GOMAXPROCS)\n", *workers)
+		os.Exit(2)
+	}
 
 	var sys experiments.System
 	var benches []string
@@ -31,7 +35,7 @@ func main() {
 	case "i7":
 		sys, benches, levels = experiments.I7OneChip, experiments.I7Benchmarks, []int{1, 2}
 	default:
-		fmt.Fprintln(os.Stderr, "unknown system")
+		fmt.Fprintf(os.Stderr, "calib: unknown system %q (want p7, p7x2 or i7)\n", *sysName)
 		os.Exit(2)
 	}
 

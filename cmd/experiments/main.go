@@ -40,6 +40,18 @@ func main() {
 		progress    = flag.Bool("progress", true, "print one line per completed matrix cell")
 	)
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -workers %d, need >= 0 (0 = GOMAXPROCS)\n", *workers)
+		os.Exit(2)
+	}
+	if *cellTimeout < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -cell-timeout %v, need >= 0\n", *cellTimeout)
+		os.Exit(2)
+	}
+	if *table != 0 && *table != 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -table %d, only Table 1 exists\n", *table)
+		os.Exit(2)
+	}
 
 	// Ctrl-C cancels the sweep; cells already simulated are kept, so the
 	// figures render from whatever completed (partial figures show up as a

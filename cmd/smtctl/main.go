@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
@@ -27,6 +28,14 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "workload seed")
 	)
 	flag.Parse()
+	if *chips < 1 {
+		fmt.Fprintf(os.Stderr, "smtctl: -chips %d, need >= 1\n", *chips)
+		os.Exit(2)
+	}
+	if !(*thresh > 0) || math.IsInf(*thresh, 0) {
+		fmt.Fprintf(os.Stderr, "smtctl: -threshold %v, need a positive finite value\n", *thresh)
+		os.Exit(2)
+	}
 
 	var d *smtselect.Arch
 	switch strings.ToLower(*archName) {
@@ -35,13 +44,14 @@ func main() {
 	case "nehalem", "i7":
 		d = smtselect.Nehalem()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *archName)
+		fmt.Fprintf(os.Stderr, "smtctl: unknown architecture %q (want power7 or nehalem)\n", *archName)
 		os.Exit(2)
 	}
 
 	spec, err := smtselect.Workload(*benchName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "smtctl: %v (known benchmarks: %s)\n",
+			err, strings.Join(smtselect.WorkloadNames(), ", "))
 		os.Exit(2)
 	}
 

@@ -1,0 +1,107 @@
+// Command smtservd is the online SMT-advisor daemon: a long-running HTTP
+// service that scores counter snapshots (POST /v1/metric) and probes
+// described workloads on the simulated machine (POST /v1/analyze), answering
+// with SMT-level recommendations and the full SMT-selection-metric
+// breakdown. See internal/server for the endpoint contracts.
+//
+// Usage:
+//
+//	smtservd -addr :8700
+//	smtservd -addr :8700 -arch nehalem -workers 8 -queue 32 -timeout 10s
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: /healthz flips to 503 so
+// load balancers stop routing here, in-flight requests run to completion
+// (bounded by -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8700", "listen address")
+		archName     = flag.String("arch", "power7", "default architecture: power7, nehalem or smt8")
+		chips        = flag.Int("chips", 1, "default chip count for analyze probes")
+		thresh       = flag.Float64("threshold", 0.21, "default decision threshold (calibrated for the simulator; see README)")
+		workers      = flag.Int("workers", 0, "max concurrently served requests (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "max requests waiting for a worker before 429 (0 = 2x workers)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request budget")
+		cacheSize    = flag.Int("cache", 1024, "recommendation-cache entries (negative disables)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+		quiet        = flag.Bool("quiet", false, "suppress the JSON access log")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "smtservd: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if *drainTimeout <= 0 {
+		fmt.Fprintf(os.Stderr, "smtservd: -drain-timeout %v, need > 0\n", *drainTimeout)
+		os.Exit(2)
+	}
+
+	cfg := server.Config{
+		Arch:           *archName,
+		Chips:          *chips,
+		Threshold:      *thresh,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		CacheSize:      *cacheSize,
+	}
+	if !*quiet {
+		cfg.AccessLog = os.Stdout
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smtservd: %v\n", err)
+		os.Exit(2)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "smtservd: serving on %s (arch=%s threshold=%g)\n",
+		*addr, *archName, *thresh)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "smtservd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop advertising health, let in-flight requests finish.
+	fmt.Fprintln(os.Stderr, "smtservd: signal received, draining ...")
+	srv.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "smtservd: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "smtservd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "smtservd: drained, bye")
+}

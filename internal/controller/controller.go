@@ -15,6 +15,7 @@
 package controller
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/smtsm"
+	"repro/internal/workload"
 )
 
 // Config tunes the controller policy.
@@ -149,6 +151,15 @@ type IntervalResult struct {
 // consulting the controller between chunks. It returns the per-interval log
 // and the total wall cycles.
 func RunAdaptive(m *cpu.Machine, ctrl *Controller, src WorkSource, maxCycles int64) ([]IntervalResult, int64, error) {
+	return RunAdaptiveContext(context.Background(), m, ctrl, src, maxCycles)
+}
+
+// RunAdaptiveContext is RunAdaptive with cooperative cancellation: the
+// context is polled by the simulator during each interval and checked
+// between intervals, so a serving layer can bound an adaptive run with a
+// request deadline. On cancellation it returns the intervals completed so
+// far together with the context's error.
+func RunAdaptiveContext(ctx context.Context, m *cpu.Machine, ctrl *Controller, src WorkSource, maxCycles int64) ([]IntervalResult, int64, error) {
 	var log []IntervalResult
 	var total int64
 	if err := m.SetSMTLevel(ctrl.Level()); err != nil {
@@ -156,11 +167,14 @@ func RunAdaptive(m *cpu.Machine, ctrl *Controller, src WorkSource, maxCycles int
 	}
 	prev := m.Counters()
 	for interval := 0; ; interval++ {
+		if err := ctx.Err(); err != nil {
+			return log, total, err
+		}
 		srcs, ok := src.NextChunk(m.HardwareThreads())
 		if !ok {
 			break
 		}
-		wall, err := m.Run(srcs, maxCycles)
+		wall, err := m.RunContext(ctx, srcs, maxCycles)
 		if err != nil {
 			return log, total, fmt.Errorf("interval %d: %w", interval, err)
 		}
@@ -177,4 +191,49 @@ func RunAdaptive(m *cpu.Machine, ctrl *Controller, src WorkSource, maxCycles int
 		}
 	}
 	return log, total, nil
+}
+
+// ProbeResult is the outcome of one max-SMT-level measurement probe: the
+// wall time, the counter snapshot, and the metric breakdown computed from
+// it. It carries everything an advisor needs to issue a recommendation.
+type ProbeResult struct {
+	// WallCycles is the probe run's simulated wall-clock time.
+	WallCycles int64
+	// Snapshot is the cumulative counter snapshot after the run.
+	Snapshot counters.Snapshot
+	// Metric is the SMT-selection metric evaluated on the snapshot.
+	Metric smtsm.Breakdown
+}
+
+// Probe measures spec at the architecture's maximum SMT level — the only
+// level at which the paper shows the metric is trustworthy — under ctx, and
+// returns the counter snapshot and metric breakdown. The context is polled
+// cooperatively by the simulator, so a caller can bound the probe with a
+// deadline or cancel it when a client disconnects; on cancellation the
+// context's error is returned.
+func Probe(ctx context.Context, d *arch.Desc, chips int, spec *workload.Spec, seed uint64) (ProbeResult, error) {
+	// The simulator polls ctx only every few thousand simulated cycles; a
+	// short probe can finish before the first poll, so check up front that
+	// the caller still wants the result.
+	if err := ctx.Err(); err != nil {
+		return ProbeResult{}, err
+	}
+	m, err := cpu.NewMachine(d, chips)
+	if err != nil {
+		return ProbeResult{}, err
+	}
+	inst, err := workload.Instantiate(spec, m.HardwareThreads(), seed)
+	if err != nil {
+		return ProbeResult{}, err
+	}
+	wall, err := m.RunContext(ctx, inst.Sources(), 0)
+	if err != nil {
+		return ProbeResult{}, fmt.Errorf("probe %s@SMT%d: %w", spec.Name, m.SMTLevel(), err)
+	}
+	snap := m.Counters()
+	return ProbeResult{
+		WallCycles: wall,
+		Snapshot:   snap,
+		Metric:     smtsm.Compute(d, &snap),
+	}, nil
 }

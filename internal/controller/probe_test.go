@@ -1,0 +1,79 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// tinySpec is a fast-running workload for probe tests.
+func tinySpec() *workload.Spec {
+	return &workload.Spec{
+		Name:         "probe-tiny",
+		Mix:          workload.Mix{Load: 0.25, Store: 0.1, Branch: 0.15, Int: 0.4, FPVec: 0.1},
+		Chains:       4,
+		ChainFrac:    0.3,
+		WorkingSetKB: 4,
+		TotalWork:    200_000,
+		IterLen:      1000,
+	}
+}
+
+func TestProbeComputesMetricAtMaxLevel(t *testing.T) {
+	d := arch.POWER7()
+	res, err := Probe(context.Background(), d, 1, tinySpec(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallCycles <= 0 {
+		t.Fatalf("wall cycles %d", res.WallCycles)
+	}
+	if res.Snapshot.SMTLevel != d.MaxSMT {
+		t.Fatalf("probe ran at SMT%d, want the maximum SMT%d", res.Snapshot.SMTLevel, d.MaxSMT)
+	}
+	if !res.Metric.Finite() {
+		t.Fatalf("non-finite probe metric %+v", res.Metric)
+	}
+	// Determinism: the same seed reproduces the same observation.
+	res2, err := Probe(context.Background(), d, 1, tinySpec(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot.Fingerprint() != res2.Snapshot.Fingerprint() {
+		t.Fatal("probe not deterministic for a fixed seed")
+	}
+}
+
+func TestProbeHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Probe(ctx, arch.POWER7(), 1, tinySpec(), 42)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunAdaptiveContextCancelled(t *testing.T) {
+	m, err := cpu.NewMachine(arch.POWER7(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := New(arch.POWER7(), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := &chunkSource{spec: tinySpec(), chunks: 4, seed: 1}
+	log, _, err := RunAdaptiveContext(ctx, m, ctrl, src, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(log) != 0 {
+		t.Fatalf("cancelled-before-start run logged %d intervals", len(log))
+	}
+}

@@ -16,10 +16,12 @@ package counters
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/xrand"
 )
 
 // Snapshot is a cumulative counter file captured at one instant. Snapshots
@@ -229,6 +231,63 @@ func (s *Snapshot) MemAccesses() uint64 {
 		n += h
 	}
 	return n
+}
+
+// canonicalVersion tags the canonical serialisation layout. Bump it whenever
+// a field is added to Snapshot so stale fingerprints can never alias new
+// ones.
+const canonicalVersion = "smtsnap1"
+
+// AppendCanonical appends a canonical byte serialisation of the snapshot to
+// b and returns the extended slice. The encoding is versioned, covers every
+// field in a fixed order, and length-prefixes the slice-valued fields, so
+// two snapshots serialise identically if and only if they are semantically
+// identical. It exists to give caches and deduplicating services a stable
+// identity for a counter observation.
+func (s *Snapshot) AppendCanonical(b []byte) []byte {
+	sep := byte('|')
+	b = append(b, canonicalVersion...)
+	addI := func(v int64) {
+		b = append(b, sep)
+		b = strconv.AppendInt(b, v, 10)
+	}
+	addU := func(v uint64) {
+		b = append(b, sep)
+		b = strconv.AppendUint(b, v, 10)
+	}
+	addI(s.WallCycles)
+	addI(int64(s.ActiveCores))
+	addI(int64(s.SMTLevel))
+	addU(s.CoreCycles)
+	addU(s.DispHeldCycles)
+	addU(s.Retired)
+	for _, v := range s.RetiredByClass {
+		addU(v)
+	}
+	addI(int64(len(s.IssuedByPort)))
+	for _, v := range s.IssuedByPort {
+		addU(v)
+	}
+	for _, v := range s.HitsByLevel {
+		addU(v)
+	}
+	addU(s.BranchLookups)
+	addU(s.BranchMispredicts)
+	addI(int64(len(s.ThreadBusy)))
+	for _, v := range s.ThreadBusy {
+		addI(v)
+	}
+	addU(s.DramLines)
+	addU(s.DramStall)
+	return b
+}
+
+// Fingerprint returns a stable 64-bit identity for the snapshot: FNV-1a over
+// the canonical serialisation (the repository's xrand.HashString constants)
+// passed through a SplitMix64 finaliser for avalanche. Equal snapshots have
+// equal fingerprints under every process, platform and run.
+func (s *Snapshot) Fingerprint() uint64 {
+	return xrand.Mix64(xrand.HashBytes(s.AppendCanonical(nil)))
 }
 
 // String renders a compact human-readable counter dump.

@@ -197,3 +197,45 @@ func TestZeroSnapshotSafe(t *testing.T) {
 	_ = s.PortFraction(0)
 	_ = s.String()
 }
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	a, b := sample(), sample()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical snapshots produced different fingerprints")
+	}
+	// Every scalar perturbation must change the identity.
+	muts := []func(*Snapshot){
+		func(s *Snapshot) { s.WallCycles++ },
+		func(s *Snapshot) { s.SMTLevel++ },
+		func(s *Snapshot) { s.DispHeldCycles++ },
+		func(s *Snapshot) { s.Retired++ },
+		func(s *Snapshot) { s.RetiredByClass[0]++ },
+		func(s *Snapshot) { s.IssuedByPort[0]++ },
+		func(s *Snapshot) { s.HitsByLevel[0]++ },
+		func(s *Snapshot) { s.BranchMispredicts++ },
+		func(s *Snapshot) { s.ThreadBusy[0]++ },
+		func(s *Snapshot) { s.DramStall++ },
+	}
+	for i, mut := range muts {
+		m := sample()
+		mut(&m)
+		if m.Fingerprint() == a.Fingerprint() {
+			t.Errorf("mutation %d did not change the fingerprint", i)
+		}
+	}
+}
+
+func TestFingerprintSliceLayoutUnambiguous(t *testing.T) {
+	// A trailing zero port must not alias the shorter snapshot: the canonical
+	// form length-prefixes slices.
+	a := Snapshot{IssuedByPort: []uint64{1}}
+	b := Snapshot{IssuedByPort: []uint64{1, 0}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("slice length not part of the canonical identity")
+	}
+	var zero Snapshot
+	empty := Snapshot{IssuedByPort: []uint64{}, ThreadBusy: []int64{}}
+	if zero.Fingerprint() != empty.Fingerprint() {
+		t.Fatal("nil and empty slices must serialise identically")
+	}
+}

@@ -1,0 +1,173 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Latency-statistics helpers shared by the serving path (smtservd's
+// /debug/vars) and any tool that wants percentile summaries of elapsed
+// times. The histogram is fixed-bucket and lock-free: Observe is a single
+// atomic add on the owning bucket, so it can sit on a request hot path.
+
+// DefaultLatencyBuckets returns the standard bucket upper bounds (in
+// seconds) used by the advisor service: 100µs to 30s, roughly geometric.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+	}
+}
+
+// LatencyHistogram accumulates durations into fixed buckets. All methods
+// are safe for concurrent use; snapshots taken while observations are in
+// flight are approximate (bucket counts and the sum are updated with
+// independent atomics), which is the standard trade for a lock-free
+// histogram.
+type LatencyHistogram struct {
+	bounds   []float64       // upper bounds in seconds, ascending
+	counts   []atomic.Uint64 // len(bounds)+1; the last bucket is +Inf
+	total    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+// NewLatencyHistogram builds a histogram over the given ascending upper
+// bounds in seconds; with no arguments it uses DefaultLatencyBuckets.
+func NewLatencyHistogram(bounds ...float64) *LatencyHistogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("report: latency buckets must be strictly ascending")
+		}
+	}
+	return &LatencyHistogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *LatencyHistogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the total observed time.
+func (h *LatencyHistogram) Sum() time.Duration { return time.Duration(h.sumNanos.Load()) }
+
+// Mean returns the average observation (0 when empty).
+func (h *LatencyHistogram) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNanos.Load() / int64(n))
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0, 1]) by linear
+// interpolation inside the bucket holding the target rank. Observations in
+// the overflow bucket are reported as the largest bound. Returns 0 when
+// empty.
+func (h *LatencyHistogram) Quantile(q float64) time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i >= len(h.bounds) {
+				// Overflow bucket: no upper bound to interpolate against.
+				return secondsToDuration(h.bounds[len(h.bounds)-1])
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return secondsToDuration(lo + (hi-lo)*frac)
+		}
+		cum += c
+	}
+	return secondsToDuration(h.bounds[len(h.bounds)-1])
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// LatencyBucket is one (upper bound, cumulative count) pair of a snapshot,
+// in Prometheus-style cumulative form.
+type LatencyBucket struct {
+	UpperBoundSeconds float64 `json:"le"`
+	CumulativeCount   uint64  `json:"count"`
+}
+
+// LatencySnapshot is a point-in-time copy of the histogram, shaped for JSON
+// export on a metrics endpoint.
+type LatencySnapshot struct {
+	Count      uint64          `json:"count"`
+	SumSeconds float64         `json:"sum_seconds"`
+	Buckets    []LatencyBucket `json:"buckets"`
+}
+
+// Snapshot copies the histogram's current state. The overflow bucket is
+// exported with a +Inf upper bound encoded as the cumulative total on the
+// final bucket.
+func (h *LatencyHistogram) Snapshot() LatencySnapshot {
+	s := LatencySnapshot{
+		Count:      h.total.Load(),
+		SumSeconds: h.Sum().Seconds(),
+	}
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Buckets = append(s.Buckets, LatencyBucket{UpperBoundSeconds: bound, CumulativeCount: cum})
+	}
+	return s
+}
+
+// Summary formats the histogram as a one-line human-readable digest:
+// "n=128 mean=1.2ms p50=0.9ms p95=4ms p99=9ms".
+func (h *LatencyHistogram) Summary() string {
+	if h.Count() == 0 {
+		return "n=0"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%s", h.Count(), h.Mean().Round(time.Microsecond))
+	for _, q := range []struct {
+		name string
+		q    float64
+	}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}} {
+		fmt.Fprintf(&b, " %s=%s", q.name, h.Quantile(q.q).Round(time.Microsecond))
+	}
+	return b.String()
+}

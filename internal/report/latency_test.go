@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistogramBasics(t *testing.T) {
+	h := NewLatencyHistogram(0.001, 0.01, 0.1)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+	h.Observe(2 * time.Second) // overflow bucket
+	if h.Count() != 4 {
+		t.Fatalf("count %d, want 4", h.Count())
+	}
+	wantSum := 500*time.Microsecond + 5*time.Millisecond + 50*time.Millisecond + 2*time.Second
+	if h.Sum() != wantSum {
+		t.Fatalf("sum %v, want %v", h.Sum(), wantSum)
+	}
+	s := h.Snapshot()
+	if len(s.Buckets) != 3 {
+		t.Fatalf("bucket count %d, want 3", len(s.Buckets))
+	}
+	// Cumulative counts: <=1ms: 1, <=10ms: 2, <=100ms: 3 (+1 overflow).
+	for i, want := range []uint64{1, 2, 3} {
+		if s.Buckets[i].CumulativeCount != want {
+			t.Fatalf("bucket %d cumulative %d, want %d", i, s.Buckets[i].CumulativeCount, want)
+		}
+	}
+}
+
+func TestLatencyQuantileMonotone(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	prev := time.Duration(0)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile %v = %v below previous %v", q, v, prev)
+		}
+		prev = v
+	}
+	// The median of 1..1000ms must land in the right neighbourhood.
+	if p50 := h.Quantile(0.5); p50 < 250*time.Millisecond || p50 > 1*time.Second {
+		t.Fatalf("p50 %v wildly off for a 1..1000ms uniform stream", p50)
+	}
+}
+
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	h := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(g*each+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*each {
+		t.Fatalf("count %d, want %d", h.Count(), goroutines*each)
+	}
+}
+
+func TestLatencySummary(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Summary() != "n=0" {
+		t.Fatalf("empty summary %q", h.Summary())
+	}
+	h.Observe(2 * time.Millisecond)
+	for _, want := range []string{"n=1", "mean=", "p50=", "p95=", "p99="} {
+		if !strings.Contains(h.Summary(), want) {
+			t.Fatalf("summary %q missing %q", h.Summary(), want)
+		}
+	}
+}

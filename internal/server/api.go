@@ -1,0 +1,272 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/counters"
+	"repro/internal/cpu"
+	"repro/internal/smtsm"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// MetricRequest scores a counter snapshot the client measured itself — the
+// PMU-sampling path of an online optimizer. The snapshot should be an
+// interval delta captured at the architecture's maximum SMT level (the only
+// level at which the paper shows the metric is trustworthy).
+type MetricRequest struct {
+	// Arch names the architecture ("power7", "nehalem", "smt8"); empty
+	// uses the server default.
+	Arch string `json:"arch,omitempty"`
+	// Threshold overrides the server's decision threshold when > 0.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Snapshot is the counter observation to score.
+	Snapshot counters.Snapshot `json:"snapshot"`
+}
+
+// AnalyzeRequest asks the server to probe a described workload on the
+// simulated machine and recommend an SMT level for it. Exactly one of
+// Bench (a built-in Table-I benchmark name) or Spec (an inline custom
+// workload) must be set.
+type AnalyzeRequest struct {
+	Arch      string         `json:"arch,omitempty"`
+	Chips     int            `json:"chips,omitempty"`
+	Bench     string         `json:"bench,omitempty"`
+	Spec      *workload.Spec `json:"spec,omitempty"`
+	Seed      uint64         `json:"seed,omitempty"`
+	Threshold float64        `json:"threshold,omitempty"`
+}
+
+// Term is one observed mix-term fraction against its architectural ideal.
+type Term struct {
+	Name     string  `json:"name"`
+	Observed float64 `json:"observed"`
+	Ideal    float64 `json:"ideal"`
+}
+
+// Recommendation is the advisor's answer: the decision plus the full
+// metric breakdown behind it.
+type Recommendation struct {
+	Arch string `json:"arch"`
+	// MeasuredLevel is the SMT level the observation was taken at (for
+	// analyze probes, always the architecture's maximum).
+	MeasuredLevel int `json:"measuredLevel"`
+	// RecommendedLevel is the advised SMT level: one exposed level below
+	// MeasuredLevel when the metric exceeds the threshold, otherwise
+	// MeasuredLevel itself.
+	RecommendedLevel int `json:"recommendedLevel"`
+	// LowerSMT is the paper's decision bit: metric > threshold.
+	LowerSMT  bool    `json:"lowerSMT"`
+	Threshold float64 `json:"threshold"`
+
+	Metric       float64 `json:"metric"`
+	MixDeviation float64 `json:"mixDeviation"`
+	DispHeld     float64 `json:"dispHeld"`
+	Scalability  float64 `json:"scalability"`
+	Terms        []Term  `json:"terms"`
+
+	// WallCycles and Bench are set on analyze responses.
+	WallCycles int64  `json:"wallCycles,omitempty"`
+	Bench      string `json:"bench,omitempty"`
+
+	// Warning flags observations the metric cannot be trusted on (a
+	// snapshot measured below the maximum SMT level — paper Figs. 11-12).
+	Warning string `json:"warning,omitempty"`
+	// Fingerprint is the canonical identity of the scored observation, for
+	// client-side correlation with the cache.
+	Fingerprint string `json:"fingerprint"`
+	// Cached reports that the recommendation was served from the LRU.
+	Cached bool `json:"cached"`
+}
+
+// reqArch resolves the request architecture, falling back to the server
+// default.
+func (s *Server) reqArch(name string) (*arch.Desc, error) {
+	if name == "" {
+		return s.defaultArch, nil
+	}
+	return resolveArch(name)
+}
+
+// reqThreshold validates a per-request threshold override.
+func (s *Server) reqThreshold(v float64) (float64, error) {
+	if v == 0 {
+		return s.cfg.Threshold, nil
+	}
+	if !(v > 0) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("threshold %v: need a positive finite value", v)
+	}
+	return v, nil
+}
+
+// decide fills the decision fields of a recommendation from a breakdown.
+func decide(d *arch.Desc, measuredLevel int, m smtsm.Breakdown, th float64) Recommendation {
+	rec := Recommendation{
+		Arch:             d.Name,
+		MeasuredLevel:    measuredLevel,
+		RecommendedLevel: measuredLevel,
+		Threshold:        th,
+		Metric:           m.Value,
+		MixDeviation:     m.MixDeviation,
+		DispHeld:         m.DispHeld,
+		Scalability:      m.Scalability,
+	}
+	for _, t := range m.Terms {
+		rec.Terms = append(rec.Terms, Term{Name: t.Name, Observed: t.Observed, Ideal: t.Ideal})
+	}
+	if m.Value > th {
+		rec.LowerSMT = true
+		// Step to the next exposed level below the measured one (stay put
+		// when none exists, e.g. a snapshot already at SMT1).
+		best := measuredLevel
+		for _, l := range d.SMTLevels {
+			if l < measuredLevel && (best == measuredLevel || l > best) {
+				best = l
+			}
+		}
+		rec.RecommendedLevel = best
+	}
+	return rec
+}
+
+// decodeJSON parses a request body, translating the error classes a client
+// can fix into one 400 message.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// handleMetric serves POST /v1/metric.
+func (s *Server) handleMetric(w http.ResponseWriter, r *http.Request) {
+	var req MetricRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad metric request: %v", err)
+		return
+	}
+	d, err := s.reqArch(req.Arch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	th, err := s.reqThreshold(req.Threshold)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := fmt.Sprintf("metric|%s|%016x|%016x", d.Name, math.Float64bits(th), req.Snapshot.Fingerprint())
+	if v, ok := s.cache.get(key); ok {
+		rec := v.(Recommendation)
+		rec.Cached = true
+		writeJSON(w, http.StatusOK, rec)
+		return
+	}
+	if !s.admit(w, r.Context()) {
+		return
+	}
+	defer s.lim.release()
+
+	measured := req.Snapshot.SMTLevel
+	if measured == 0 {
+		measured = d.MaxSMT
+	}
+	rec := decide(d, measured, smtsm.Compute(d, &req.Snapshot), th)
+	rec.Fingerprint = fmt.Sprintf("%016x", req.Snapshot.Fingerprint())
+	if measured != d.MaxSMT {
+		rec.Warning = fmt.Sprintf("snapshot measured at SMT%d: the metric is only reliable at the maximum level SMT%d", measured, d.MaxSMT)
+	}
+	s.cache.add(key, rec)
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleAnalyze serves POST /v1/analyze.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad analyze request: %v", err)
+		return
+	}
+	d, err := s.reqArch(req.Arch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	th, err := s.reqThreshold(req.Threshold)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	chips := req.Chips
+	if chips == 0 {
+		chips = s.cfg.Chips
+	}
+	if chips < 1 {
+		writeError(w, http.StatusBadRequest, "chips %d: need >= 1", req.Chips)
+		return
+	}
+	var spec *workload.Spec
+	switch {
+	case req.Bench != "" && req.Spec != nil:
+		writeError(w, http.StatusBadRequest, "set either bench or spec, not both")
+		return
+	case req.Bench != "":
+		spec, err = workload.Get(req.Bench)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "unknown bench %q (known: %s)",
+				req.Bench, strings.Join(workload.Names(), ", "))
+			return
+		}
+	case req.Spec != nil:
+		spec = req.Spec // UnmarshalJSON already validated it
+	default:
+		writeError(w, http.StatusBadRequest, "one of bench or spec is required")
+		return
+	}
+
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "canonicalising spec: %v", err)
+		return
+	}
+	key := fmt.Sprintf("analyze|%s|%d|%d|%016x|%016x",
+		d.Name, chips, req.Seed, math.Float64bits(th), xrand.HashBytes(specJSON))
+	if v, ok := s.cache.get(key); ok {
+		rec := v.(Recommendation)
+		rec.Cached = true
+		writeJSON(w, http.StatusOK, rec)
+		return
+	}
+	if !s.admit(w, r.Context()) {
+		return
+	}
+	defer s.lim.release()
+
+	res, err := s.probe(r.Context(), d, chips, spec, req.Seed)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
+			errors.Is(err, cpu.ErrCanceled):
+			s.met.timeouts.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "probe aborted: %v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "probe failed: %v", err)
+		}
+		return
+	}
+	rec := decide(d, d.MaxSMT, res.Metric, th)
+	rec.WallCycles = res.WallCycles
+	rec.Bench = spec.Name
+	rec.Fingerprint = fmt.Sprintf("%016x", res.Snapshot.Fingerprint())
+	s.cache.add(key, rec)
+	writeJSON(w, http.StatusOK, rec)
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// lruCache is a fixed-capacity least-recently-used recommendation cache.
+// Keys are canonical request fingerprints (see the handlers), so two
+// requests describing the same observation — byte-identical snapshot, same
+// architecture, same threshold — share one computed recommendation. Values
+// are treated as immutable by all callers.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits, misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// newLRUCache builds a cache holding at most max entries; max <= 0 disables
+// caching (every lookup misses, adds are dropped).
+func newLRUCache(max int) *lruCache {
+	return &lruCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache) get(key string) (any, bool) {
+	if c.max <= 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// add inserts (or refreshes) a value, evicting the least recently used
+// entry when over capacity.
+func (c *lruCache) add(key string, val any) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// stats returns cumulative hit and miss counts.
+func (c *lruCache) stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,335 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/controller"
+	"repro/internal/counters"
+	"repro/internal/workload"
+)
+
+// httpPost posts a JSON body to a live test server and returns the status
+// plus the decoded recommendation (when the status is 200).
+func httpPost(t *testing.T, url string, body any) (int, Recommendation) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rec Recommendation
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, rec
+}
+
+func fetchVars(t *testing.T, baseURL string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	return vars
+}
+
+// TestConcurrentMetricClients drives 64 concurrent clients over a small set
+// of distinct snapshots: every request must succeed, the worker bound must
+// hold, and repeats must hit the cache.
+func TestConcurrentMetricClients(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 4
+	cfg.QueueDepth = 128 // deep queue: nothing shed in this test
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients = 64
+	snaps := make([]counters.Snapshot, 8)
+	for i := range snaps {
+		snaps[i] = highMetricSnapshot()
+		snaps[i].Retired += uint64(i) // distinct fingerprints
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, rec := httpPost(t, ts.URL+"/v1/metric",
+				MetricRequest{Snapshot: snaps[i%len(snaps)]})
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d", i, status)
+				return
+			}
+			if !rec.LowerSMT {
+				errs <- fmt.Errorf("client %d: unexpected decision %+v", i, rec)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	vars := fetchVars(t, ts.URL)
+	if got := vars["peak_active_workers"].(float64); got > float64(cfg.Workers) {
+		t.Errorf("peak_active_workers %v exceeded the %d-worker bound", got, cfg.Workers)
+	}
+	if hits := vars["cache_hits"].(float64); hits == 0 {
+		t.Error("64 clients over 8 snapshots produced zero cache hits")
+	}
+	if shed := vars["shed_total"].(float64); shed != 0 {
+		t.Errorf("shed_total %v with a deep queue", shed)
+	}
+	if n := vars["responses_2xx"].(float64); n < clients {
+		t.Errorf("responses_2xx %v, want >= %d", n, clients)
+	}
+}
+
+// gatedProbe returns a probe stub that signals each admitted probe on
+// started and blocks until the gate closes (or the request context dies).
+func gatedProbe(started chan<- struct{}, gate <-chan struct{}) probeFunc {
+	return func(ctx context.Context, d *arch.Desc, chips int, spec *workload.Spec, seed uint64) (controller.ProbeResult, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-gate:
+			snap := highMetricSnapshot()
+			return controller.ProbeResult{WallCycles: 1, Snapshot: snap}, nil
+		case <-ctx.Done():
+			return controller.ProbeResult{}, ctx.Err()
+		}
+	}
+}
+
+// analyzeBody builds a /v1/analyze payload with a unique seed so each
+// request misses the cache and reaches the probe.
+func analyzeBody(seed uint64) AnalyzeRequest {
+	return AnalyzeRequest{Bench: "EP", Seed: seed}
+}
+
+// TestLoadSheddingUnderSaturation saturates 2 workers + 2 queue slots with
+// gated probes and verifies the overflow is shed with 429 while the admitted
+// requests complete once the gate opens.
+func TestLoadSheddingUnderSaturation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 2
+	cfg.QueueDepth = 2
+	cfg.CacheSize = -1 // disable the cache so every request needs a worker
+	s := newTestServer(t, cfg)
+	started := make(chan struct{}, 16)
+	gate := make(chan struct{})
+	s.probe = gatedProbe(started, gate)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const total = 12 // 2 running + 2 queued admitted; 8 shed
+	statuses := make(chan int, total)
+	var wg sync.WaitGroup
+	launch := func(n int, seedBase uint64) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				status, _ := httpPost(t, ts.URL+"/v1/analyze", analyzeBody(seedBase+uint64(i)))
+				statuses <- status
+			}(i)
+		}
+	}
+	// First fill the workers and wait until both probes are running, so
+	// admission order is deterministic; then pile on the rest.
+	launch(2, 1)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("workers never started")
+		}
+	}
+	launch(total-2, 100)
+	// Wait until the overflow has been fully shed: exactly 2 more requests
+	// fit the queue, the other 8 bounce with 429.
+	deadline := time.After(5 * time.Second)
+	for {
+		vars := fetchVars(t, ts.URL)
+		if vars["shed_total"].(float64) >= float64(total-4) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("shedding never reached %d: vars %v", total-4, vars)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(gate) // release the admitted probes
+	wg.Wait()
+	close(statuses)
+
+	ok, shed := 0, 0
+	for status := range statuses {
+		switch status {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("unexpected status %d", status)
+		}
+	}
+	if ok != 4 || shed != total-4 {
+		t.Fatalf("ok=%d shed=%d, want 4 ok and %d shed", ok, shed, total-4)
+	}
+	vars := fetchVars(t, ts.URL)
+	if got := vars["shed_total"].(float64); got != float64(total-4) {
+		t.Errorf("shed_total %v, want %d", got, total-4)
+	}
+}
+
+// TestGracefulDrainCompletesInFlight starts slow probes, begins draining,
+// and verifies Shutdown waits for every in-flight request to finish with a
+// successful response — zero dropped.
+func TestGracefulDrainCompletesInFlight(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 4
+	cfg.CacheSize = -1
+	s := newTestServer(t, cfg)
+	started := make(chan struct{}, 16)
+	gate := make(chan struct{})
+	s.probe = gatedProbe(started, gate)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const inFlight = 4
+	statuses := make(chan int, inFlight)
+	var wg sync.WaitGroup
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, rec := httpPost(t, ts.URL+"/v1/analyze", analyzeBody(uint64(i)))
+			if status == http.StatusOK && rec.WallCycles != 1 {
+				t.Errorf("in-flight request %d got wrong body: %+v", i, rec)
+			}
+			statuses <- status
+		}(i)
+	}
+	for i := 0; i < inFlight; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("in-flight probes never started")
+		}
+	}
+
+	s.BeginDrain()
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("draining healthz %d, want 503", resp.StatusCode)
+		}
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- ts.Config.Shutdown(ctx)
+	}()
+	// Shutdown must be waiting on the in-flight work, not aborting it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v with requests still gated", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(gate)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	close(statuses)
+	for status := range statuses {
+		if status != http.StatusOK {
+			t.Errorf("in-flight request dropped with status %d during drain", status)
+		}
+	}
+}
+
+// TestRequestTimeoutAborts verifies that a probe outliving the per-request
+// budget is cancelled and reported as 503, not left running.
+func TestRequestTimeoutAborts(t *testing.T) {
+	cfg := testConfig()
+	cfg.RequestTimeout = 50 * time.Millisecond
+	cfg.CacheSize = -1
+	s := newTestServer(t, cfg)
+	gate := make(chan struct{}) // never closed: the probe only exits via ctx
+	defer close(gate)
+	s.probe = gatedProbe(make(chan struct{}, 1), gate)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, _ := httpPost(t, ts.URL+"/v1/analyze", analyzeBody(7))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 on timeout", status)
+	}
+	vars := fetchVars(t, ts.URL)
+	if got := vars["timeout_total"].(float64); got < 1 {
+		t.Errorf("timeout_total %v, want >= 1", got)
+	}
+}
+
+// TestAnalyzeEndToEnd runs a real probe (no stub) over a tiny inline spec
+// and checks the repeat request is served from the cache.
+func TestAnalyzeEndToEnd(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := &workload.Spec{
+		Name: "tiny-int", Mix: workload.Mix{Int: 1},
+		Chains: 1, WorkingSetKB: 1, TotalWork: 50_000, IterLen: 100,
+	}
+	status, rec := httpPost(t, ts.URL+"/v1/analyze", AnalyzeRequest{Spec: spec, Seed: 3})
+	if status != http.StatusOK {
+		t.Fatalf("analyze status %d", status)
+	}
+	if rec.WallCycles <= 0 || rec.Bench != "tiny-int" || rec.MeasuredLevel != 4 {
+		t.Fatalf("analyze response %+v", rec)
+	}
+	status, again := httpPost(t, ts.URL+"/v1/analyze", AnalyzeRequest{Spec: spec, Seed: 3})
+	if status != http.StatusOK || !again.Cached {
+		t.Fatalf("repeat analyze status %d cached=%v", status, again.Cached)
+	}
+	if again.Metric != rec.Metric || again.WallCycles != rec.WallCycles {
+		t.Fatalf("cached analyze differs: %+v vs %+v", again, rec)
+	}
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by limiter.acquire when both every worker slot
+// and the waiting queue are occupied; the handler answers 429 so clients
+// back off instead of piling onto a saturated advisor.
+var ErrQueueFull = errors.New("server: worker queue full")
+
+// limiter bounds request concurrency with a fixed worker pool plus a
+// bounded waiting room. Admission is two-stage: a request first takes a
+// queue token (non-blocking — failure is the load-shed signal), then waits
+// for a worker slot under its own context, so a queued request that hits
+// its deadline leaves the queue instead of occupying it forever.
+type limiter struct {
+	slots chan struct{} // worker tokens; capacity = worker count
+	queue chan struct{} // admission tokens; capacity = workers + queue depth
+	// active and peak track held worker slots for the observability layer:
+	// peak proves concurrency stayed bounded over a whole test or run.
+	active atomic.Int64
+	peak   atomic.Int64
+}
+
+func newLimiter(workers, queueDepth int) *limiter {
+	return &limiter{
+		slots: make(chan struct{}, workers),
+		queue: make(chan struct{}, workers+queueDepth),
+	}
+}
+
+// acquire admits the request or fails fast: ErrQueueFull when the waiting
+// room is full, or the context error if the deadline expires while queued.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return ErrQueueFull
+	}
+	select {
+	case l.slots <- struct{}{}:
+		a := l.active.Add(1)
+		for {
+			p := l.peak.Load()
+			if a <= p || l.peak.CompareAndSwap(p, a) {
+				return nil
+			}
+		}
+	case <-ctx.Done():
+		<-l.queue
+		return ctx.Err()
+	}
+}
+
+// release returns the worker slot and queue token taken by acquire.
+func (l *limiter) release() {
+	l.active.Add(-1)
+	<-l.slots
+	<-l.queue
+}
+
+// workers returns the worker-pool capacity.
+func (l *limiter) workers() int { return cap(l.slots) }
+
+// activeWorkers returns the worker slots currently held.
+func (l *limiter) activeWorkers() int { return int(l.active.Load()) }
+
+// peakActive returns the high-water mark of concurrently held slots.
+func (l *limiter) peakActive() int { return int(l.peak.Load()) }
+
+// queued returns how many admitted requests are waiting for a slot.
+func (l *limiter) queued() int {
+	q := len(l.queue) - len(l.slots)
+	if q < 0 {
+		q = 0
+	}
+	return q
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/report"
+)
+
+// metrics is the advisor's observability surface, exported expvar-style as
+// one JSON document on /debug/vars. Counters are lock-free atomics; the
+// latency histogram is the shared report.LatencyHistogram, so the daemon
+// and the experiment tooling summarise latencies identically.
+type metrics struct {
+	start time.Time
+
+	requests     atomic.Uint64
+	responses2xx atomic.Uint64
+	responses4xx atomic.Uint64
+	responses5xx atomic.Uint64
+	shed         atomic.Uint64
+	timeouts     atomic.Uint64
+
+	latency *report.LatencyHistogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:   time.Now(),
+		latency: report.NewLatencyHistogram(),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(status int, elapsed time.Duration) {
+	m.requests.Add(1)
+	m.latency.Observe(elapsed)
+	switch {
+	case status >= 500:
+		m.responses5xx.Add(1)
+	case status >= 400:
+		m.responses4xx.Add(1)
+	default:
+		m.responses2xx.Add(1)
+	}
+}
+
+// vars assembles the full metrics document. Gauges (worker occupancy, queue
+// length, cache size) are sampled from the server's live components at call
+// time.
+func (s *Server) vars() map[string]any {
+	hits, misses := s.cache.stats()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	return map[string]any{
+		"uptime_seconds": time.Since(s.met.start).Seconds(),
+		"draining":       s.draining.Load(),
+
+		"requests_total": s.met.requests.Load(),
+		"responses_2xx":  s.met.responses2xx.Load(),
+		"responses_4xx":  s.met.responses4xx.Load(),
+		"responses_5xx":  s.met.responses5xx.Load(),
+		"shed_total":     s.met.shed.Load(),
+		"timeout_total":  s.met.timeouts.Load(),
+
+		"cache_capacity": s.cfg.CacheSize,
+		"cache_size":     s.cache.len(),
+		"cache_hits":     hits,
+		"cache_misses":   misses,
+		"cache_hit_rate": hitRate,
+
+		"workers":             s.lim.workers(),
+		"active_workers":      s.lim.activeWorkers(),
+		"peak_active_workers": s.lim.peakActive(),
+		"queue_depth":         s.cfg.QueueDepth,
+		"queued":              s.lim.queued(),
+
+		"latency_seconds": s.met.latency.Snapshot(),
+		"latency_summary": s.met.latency.Summary(),
+	}
+}
+
+// handleVars serves /debug/vars.
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.vars())
+}

@@ -1,0 +1,285 @@
+// Package server implements smtservd's serving path: a long-running HTTP
+// advisor that turns counter observations and workload descriptions into
+// SMT-level recommendations with the full SMT-selection-metric breakdown.
+//
+// It is the paper's Section V use-case lifted into a production shape:
+//
+//   - POST /v1/metric   — score a counter snapshot the client measured
+//     itself (the PMU-sampling path of an online optimizer);
+//   - POST /v1/analyze  — probe a described workload on the simulated
+//     machine at the maximum SMT level and recommend a level for it;
+//   - GET  /healthz     — liveness/readiness (503 while draining);
+//   - GET  /debug/vars  — expvar-style metrics document.
+//
+// The serving path is hardened the way a heavy-traffic deployment needs:
+// bounded worker concurrency with a bounded waiting queue and 429
+// load-shedding beyond it, per-request timeouts wired through context, an
+// LRU recommendation cache keyed by canonical request fingerprints, JSON
+// access logging, and graceful drain (in-flight requests finish; health
+// flips to 503 so load balancers stop sending new work).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/controller"
+	"repro/internal/workload"
+)
+
+// maxBodyBytes bounds request bodies; counter snapshots and workload specs
+// are tiny, so anything near this limit is abuse.
+const maxBodyBytes = 1 << 20
+
+// Config tunes the advisor service.
+type Config struct {
+	// Arch is the default architecture for requests that name none:
+	// "power7", "nehalem" or "smt8".
+	Arch string
+	// Chips is the default chip count for analyze probes (>= 1).
+	Chips int
+	// Threshold is the default decision threshold (> 0); requests may
+	// override it per call.
+	Threshold float64
+	// Workers bounds concurrently served requests (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker before the server
+	// sheds load with 429 (0 = 2×Workers).
+	QueueDepth int
+	// RequestTimeout is the per-request budget wired through context into
+	// the simulator (0 = 30s).
+	RequestTimeout time.Duration
+	// CacheSize is the LRU recommendation-cache capacity in entries
+	// (0 = 1024; negative disables caching).
+	CacheSize int
+	// AccessLog receives one JSON line per request (nil = no logging).
+	AccessLog io.Writer
+}
+
+// withDefaults fills zero values with production defaults.
+func (c Config) withDefaults() Config {
+	if c.Arch == "" {
+		c.Arch = "power7"
+	}
+	if c.Chips == 0 {
+		c.Chips = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+	return c
+}
+
+// validate rejects nonsensical configurations.
+func (c Config) validate() error {
+	if _, err := resolveArch(c.Arch); err != nil {
+		return err
+	}
+	if c.Chips < 1 {
+		return fmt.Errorf("server: chips %d, need >= 1", c.Chips)
+	}
+	if !(c.Threshold > 0) || math.IsInf(c.Threshold, 0) {
+		return fmt.Errorf("server: threshold %v, need a positive finite value", c.Threshold)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("server: workers %d, need >= 1", c.Workers)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("server: negative queue depth %d", c.QueueDepth)
+	}
+	if c.RequestTimeout < 0 {
+		return fmt.Errorf("server: negative request timeout %v", c.RequestTimeout)
+	}
+	return nil
+}
+
+// probeFunc runs one analyze probe; swapped by tests to control timing.
+type probeFunc func(ctx context.Context, d *arch.Desc, chips int, spec *workload.Spec, seed uint64) (controller.ProbeResult, error)
+
+// Server is the advisor service. Build one with New, mount Handler on an
+// http.Server, and call BeginDrain before http.Server.Shutdown.
+type Server struct {
+	cfg         Config
+	defaultArch *arch.Desc
+	lim         *limiter
+	cache       *lruCache
+	met         *metrics
+	mux         *http.ServeMux
+	probe       probeFunc
+	draining    atomic.Bool
+	logMu       sync.Mutex
+}
+
+// New builds the service from a validated configuration.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d, err := resolveArch(cfg.Arch)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:         cfg,
+		defaultArch: d,
+		lim:         newLimiter(cfg.Workers, cfg.QueueDepth),
+		cache:       newLRUCache(cfg.CacheSize),
+		met:         newMetrics(),
+		probe:       controller.Probe,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.mux.HandleFunc("POST /v1/metric", s.handleMetric)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	return s, nil
+}
+
+// Handler returns the full request pipeline: routing wrapped with the
+// timeout, metrics and access-logging middleware.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		s.mux.ServeHTTP(rec, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		s.met.observe(rec.status, elapsed)
+		s.accessLog(r, rec.status, rec.bytes, elapsed)
+	})
+}
+
+// BeginDrain flips the server into draining mode: /healthz answers 503 so
+// load balancers stop routing here, while in-flight and queued requests run
+// to completion. Call it just before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// statusRecorder captures the response status and size for logs/metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// accessLog emits one structured JSON line per request.
+func (s *Server) accessLog(r *http.Request, status int, bytes int64, elapsed time.Duration) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(map[string]any{
+		"time":   time.Now().UTC().Format(time.RFC3339Nano),
+		"method": r.Method,
+		"path":   r.URL.Path,
+		"status": status,
+		"bytes":  bytes,
+		"dur_ms": float64(elapsed.Microseconds()) / 1000,
+		"remote": r.RemoteAddr,
+	})
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	_, _ = s.cfg.AccessLog.Write(append(line, '\n'))
+}
+
+// resolveArch maps a request/config architecture name to its description.
+func resolveArch(name string) (*arch.Desc, error) {
+	switch strings.ToLower(name) {
+	case "power7", "p7":
+		return arch.POWER7(), nil
+	case "nehalem", "i7":
+		return arch.Nehalem(), nil
+	case "smt8", "genericsmt8":
+		return arch.GenericSMT8(), nil
+	default:
+		return nil, fmt.Errorf("server: unknown architecture %q (want power7, nehalem or smt8)", name)
+	}
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleHealthz answers liveness probes; a draining server reports 503 so
+// balancers stop sending new work while in-flight requests finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// admit runs the bounded-concurrency admission for one request, translating
+// limiter failures into the right HTTP status. On success the caller must
+// call s.lim.release().
+func (s *Server) admit(w http.ResponseWriter, ctx context.Context) bool {
+	if err := s.lim.acquire(ctx); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.met.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "worker queue full, retry later")
+		} else {
+			s.met.timeouts.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "request expired while queued: %v", err)
+		}
+		return false
+	}
+	return true
+}

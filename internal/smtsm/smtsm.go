@@ -69,8 +69,33 @@ func Compute(d *arch.Desc, s *counters.Snapshot) Breakdown {
 		sum += dev * dev
 	}
 	b.MixDeviation = math.Sqrt(sum)
+	// Degenerate snapshots — zero-thread runs, empty deltas, wrapped
+	// counters — must yield a defined, finite metric: a NaN or Inf here
+	// poisons every downstream consumer (threshold search sorts it to an
+	// arbitrary end, caches key on it, controllers compare against it and
+	// the comparison is always false). The scalability factor is defined as
+	// at least 1 (a run with no busy thread has no software-scalability
+	// penalty to report), and dispatch-held is a fraction in [0, 1].
+	if math.IsNaN(b.Scalability) || math.IsInf(b.Scalability, 0) || b.Scalability < 1 {
+		b.Scalability = 1
+	}
+	if math.IsNaN(b.DispHeld) || math.IsInf(b.DispHeld, 0) || b.DispHeld < 0 {
+		b.DispHeld = 0
+	}
 	b.Value = b.MixDeviation * b.DispHeld * b.Scalability
 	return b
+}
+
+// Finite reports whether the metric value and all three factors are finite
+// numbers. Compute always returns a finite breakdown; the predicate exists
+// for callers validating breakdowns that crossed a serialisation boundary.
+func (b Breakdown) Finite() bool {
+	for _, v := range []float64{b.Value, b.MixDeviation, b.DispHeld, b.Scalability} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // Value is a convenience wrapper returning only the metric value.

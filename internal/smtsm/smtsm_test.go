@@ -193,3 +193,46 @@ func TestTermsAlignWithArch(t *testing.T) {
 		}
 	}
 }
+
+// TestDegenerateSnapshotsFinite is the regression test for the zero-thread
+// guard: snapshots from empty or zero-thread runs (no busy thread, no wall
+// time, no core cycles) must produce a defined, finite metric — never
+// NaN/Inf values that would poison threshold search or fingerprint caches.
+func TestDegenerateSnapshotsFinite(t *testing.T) {
+	d := arch.POWER7()
+	cases := []struct {
+		name string
+		snap counters.Snapshot
+	}{
+		{"all-zero", counters.Snapshot{}},
+		{"zero-threads-with-wall", counters.Snapshot{WallCycles: 1000, CoreCycles: 1000}},
+		{"threads-never-busy", counters.Snapshot{WallCycles: 1000, ThreadBusy: []int64{0, 0, 0}}},
+		{"negative-busy-delta", counters.Snapshot{WallCycles: 1000, ThreadBusy: []int64{-5, -7}}},
+		{"zero-wall-busy-threads", counters.Snapshot{WallCycles: 0, ThreadBusy: []int64{500, 500}}},
+		{"retired-no-cycles", counters.Snapshot{Retired: 1_000_000}},
+	}
+	for _, tc := range cases {
+		b := Compute(d, &tc.snap)
+		if !b.Finite() {
+			t.Errorf("%s: non-finite breakdown %+v", tc.name, b)
+		}
+		if b.Scalability < 1 {
+			t.Errorf("%s: scalability %v < 1", tc.name, b.Scalability)
+		}
+		if b.DispHeld < 0 {
+			t.Errorf("%s: dispatch-held %v < 0", tc.name, b.DispHeld)
+		}
+	}
+}
+
+func TestFinitePredicate(t *testing.T) {
+	if !(Breakdown{Value: 0.2, MixDeviation: 0.4, DispHeld: 0.5, Scalability: 1}).Finite() {
+		t.Fatal("finite breakdown reported non-finite")
+	}
+	if (Breakdown{Value: math.NaN(), Scalability: 1}).Finite() {
+		t.Fatal("NaN breakdown reported finite")
+	}
+	if (Breakdown{Value: 1, Scalability: math.Inf(1)}).Finite() {
+		t.Fatal("Inf breakdown reported finite")
+	}
+}

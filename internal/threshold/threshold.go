@@ -8,6 +8,7 @@ package threshold
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -77,8 +78,46 @@ func Gini(points []Point, sep float64) float64 {
 	return nl/n*il + nr/n*ir
 }
 
-// ErrNoPoints is returned when a search is given no observations.
-var ErrNoPoints = errors.New("threshold: no observations")
+// Typed search-input errors. A threshold search needs at least two
+// observations with at least two distinct, finite metric values — anything
+// less has no candidate separator between points, so any returned threshold
+// would be arbitrary. Callers test with errors.Is.
+var (
+	// ErrNoPoints is returned when a search is given no observations.
+	ErrNoPoints = errors.New("threshold: no observations")
+	// ErrTooFewPoints is returned for a single observation: no separator
+	// between points exists.
+	ErrTooFewPoints = errors.New("threshold: need at least two observations")
+	// ErrNoSpread is returned when every observation has the same metric
+	// value: no separator can distinguish them.
+	ErrNoSpread = errors.New("threshold: all observations share one metric value")
+	// ErrNonFinite is returned when an observation carries a NaN or Inf
+	// metric value, which would poison the separator sweep.
+	ErrNonFinite = errors.New("threshold: non-finite metric value")
+)
+
+// validatePoints checks that a search input can yield a well-defined
+// threshold, returning the matching typed error otherwise.
+func validatePoints(points []Point) error {
+	switch len(points) {
+	case 0:
+		return ErrNoPoints
+	case 1:
+		return fmt.Errorf("%w (got 1)", ErrTooFewPoints)
+	}
+	for _, p := range points {
+		if math.IsNaN(p.Metric) || math.IsInf(p.Metric, 0) {
+			return fmt.Errorf("%w (%q: %v)", ErrNonFinite, p.Label, p.Metric)
+		}
+	}
+	first := points[0].Metric
+	for _, p := range points[1:] {
+		if p.Metric != first {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w (%v × %d)", ErrNoSpread, first, len(points))
+}
 
 // candidateSeparators returns the midpoints between consecutive distinct
 // metric values, plus sentinels below and above all observations.
@@ -101,8 +140,8 @@ func candidateSeparators(points []Point) []float64 {
 // GiniSearch finds the separator range minimising Gini impurity over all
 // candidate separators (midpoints between observed metric values).
 func GiniSearch(points []Point) (GiniResult, error) {
-	if len(points) == 0 {
-		return GiniResult{}, ErrNoPoints
+	if err := validatePoints(points); err != nil {
+		return GiniResult{}, err
 	}
 	seps := candidateSeparators(points)
 	res := GiniResult{MinImpurity: math.Inf(1), Lo: math.Inf(1), Hi: math.Inf(-1)}
@@ -157,8 +196,8 @@ func PPI(points []Point, thresh float64) float64 {
 // PPISearch finds the threshold maximising average PPI over all candidate
 // thresholds.
 func PPISearch(points []Point) (PPIResult, error) {
-	if len(points) == 0 {
-		return PPIResult{}, ErrNoPoints
+	if err := validatePoints(points); err != nil {
+		return PPIResult{}, err
 	}
 	seps := candidateSeparators(points)
 	res := PPIResult{BestPPI: math.Inf(-1)}
@@ -180,8 +219,8 @@ func PPISearch(points []Point) (PPIResult, error) {
 // orientation-aware, so it never reports a "pure" but semantically inverted
 // split.
 func BestAccuracySplit(points []Point) (float64, float64, []string, error) {
-	if len(points) == 0 {
-		return 0, 0, nil, ErrNoPoints
+	if err := validatePoints(points); err != nil {
+		return 0, 0, nil, err
 	}
 	bestTh, bestAcc := 0.0, -1.0
 	for _, sep := range candidateSeparators(points) {

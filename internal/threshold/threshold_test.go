@@ -1,6 +1,7 @@
 package threshold
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -256,5 +257,58 @@ func TestPPIZeroSpeedupIgnored(t *testing.T) {
 	pts := []Point{{Metric: 0.5, Speedup: 0}}
 	if v := PPI(pts, 0.1); v != 0 {
 		t.Fatalf("PPI %v with a zero-speedup point, want 0 (skipped)", v)
+	}
+}
+
+// TestSearchDegenerateInputs is the table-driven regression test for the
+// typed search-input errors: empty, single-point, all-identical and
+// non-finite inputs must fail with the matching sentinel instead of
+// returning an arbitrary separator (or indexing out of range).
+func TestSearchDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []Point
+		want error
+	}{
+		{"empty", nil, ErrNoPoints},
+		{"single", []Point{{Metric: 0.1, Speedup: 1.2}}, ErrTooFewPoints},
+		{"identical-pair", []Point{
+			{Metric: 0.1, Speedup: 1.2}, {Metric: 0.1, Speedup: 0.8},
+		}, ErrNoSpread},
+		{"identical-many", []Point{
+			{Metric: 0.2, Speedup: 2}, {Metric: 0.2, Speedup: 0.5}, {Metric: 0.2, Speedup: 1},
+		}, ErrNoSpread},
+		{"nan-metric", []Point{
+			{Metric: math.NaN(), Speedup: 1.2}, {Metric: 0.1, Speedup: 0.8},
+		}, ErrNonFinite},
+		{"inf-metric", []Point{
+			{Metric: 0.1, Speedup: 1.2}, {Metric: math.Inf(1), Speedup: 0.8},
+		}, ErrNonFinite},
+	}
+	for _, tc := range cases {
+		if _, err := GiniSearch(tc.pts); !errors.Is(err, tc.want) {
+			t.Errorf("GiniSearch(%s) err = %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := PPISearch(tc.pts); !errors.Is(err, tc.want) {
+			t.Errorf("PPISearch(%s) err = %v, want %v", tc.name, err, tc.want)
+		}
+		if _, _, _, err := BestAccuracySplit(tc.pts); !errors.Is(err, tc.want) {
+			t.Errorf("BestAccuracySplit(%s) err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSearchTwoDistinctPointsStillWork(t *testing.T) {
+	// The minimal valid input: two points with distinct metrics.
+	pts := []Point{{Metric: 0.1, Speedup: 1.5}, {Metric: 0.3, Speedup: 0.5}}
+	g, err := GiniSearch(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Best <= 0.1 || g.Best >= 0.3 {
+		t.Fatalf("best separator %v outside (0.1, 0.3)", g.Best)
+	}
+	if _, err := PPISearch(pts); err != nil {
+		t.Fatal(err)
 	}
 }

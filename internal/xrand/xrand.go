@@ -62,6 +62,18 @@ func HashString(s string) uint64 {
 	return h
 }
 
+// HashBytes is HashString over a byte slice: the same FNV-1a with the same
+// historical offset basis, for callers that build canonical binary keys
+// (e.g. counter-snapshot fingerprints) without converting to string.
+func HashBytes(b []byte) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // Rand is the simulator's general-purpose generator (xoshiro256**).
 type Rand struct {
 	s0, s1, s2, s3 uint64

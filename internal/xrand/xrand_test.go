@@ -213,3 +213,11 @@ func TestHashStringPinned(t *testing.T) {
 		}
 	}
 }
+
+func TestHashBytesMatchesHashString(t *testing.T) {
+	for _, s := range []string{"", "EP", "Stream", "smtsnap1|1|2|3"} {
+		if got, want := HashBytes([]byte(s)), HashString(s); got != want {
+			t.Errorf("HashBytes(%q) = %d, want HashString's %d", s, got, want)
+		}
+	}
+}

@@ -36,6 +36,18 @@ go test -count=1 ./...
 step "bench smoke"
 go test -run '^$' -bench . -benchtime=1x ./...
 
+step "smtservd smoke"
+bin="$(mktemp -d)/smtservd"
+go build -o "$bin" ./cmd/smtservd
+"$bin" -addr 127.0.0.1:18700 -quiet &
+servd_pid=$!
+if ! go run ./scripts/healthcheck -url http://127.0.0.1:18700/healthz -timeout 15s; then
+	kill "$servd_pid" 2>/dev/null || true
+	exit 1
+fi
+kill -TERM "$servd_pid"
+wait "$servd_pid"
+
 if [ "$quick" = "quick" ]; then
 	echo
 	echo "quick mode: skipping race and fuzz stages"
@@ -43,7 +55,8 @@ if [ "$quick" = "quick" ]; then
 fi
 
 step "race detector (concurrent packages)"
-go test -race -count=1 ./internal/experiments ./internal/cpu ./internal/sched
+go test -race -count=1 ./internal/experiments ./internal/cpu ./internal/sched \
+	./internal/server ./internal/report
 
 step "fuzz smoke (10s per target)"
 go test -run '^$' -fuzz FuzzReader -fuzztime 10s ./internal/trace

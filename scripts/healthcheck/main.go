@@ -1,0 +1,48 @@
+// Command healthcheck polls an HTTP endpoint until it answers 200 or the
+// deadline expires. CI uses it to smoke-test the smtservd daemon without
+// depending on curl being installed.
+//
+// Usage:
+//
+//	healthcheck -url http://127.0.0.1:18700/healthz -timeout 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://127.0.0.1:18700/healthz", "endpoint to poll")
+		timeout = flag.Duration("timeout", 10*time.Second, "give up after this long")
+		every   = flag.Duration("every", 100*time.Millisecond, "poll interval")
+	)
+	flag.Parse()
+
+	deadline := time.Now().Add(*timeout)
+	client := &http.Client{Timeout: 2 * time.Second}
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(*url)
+		if err == nil {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				fmt.Printf("healthcheck: %s -> %d %s\n", *url, resp.StatusCode, body)
+				return
+			}
+			lastErr = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(*every)
+	}
+	fmt.Fprintf(os.Stderr, "healthcheck: %s never became healthy within %v: %v\n",
+		*url, *timeout, lastErr)
+	os.Exit(1)
+}
