@@ -67,7 +67,7 @@ func BenchmarkFig1(b *testing.B) {
 	m := campaign(experiments.P7OneChip)
 	var res experiments.Fig1Result
 	for i := 0; i < b.N; i++ {
-		res = experiments.Fig1(m)
+		res = experiments.Fig1(context.Background(), m)
 	}
 	for i, bench := range res.Benches {
 		b.Logf("%s: SMT4 performance %.2fx of SMT1", bench, res.Normalized[i])
@@ -81,7 +81,7 @@ func BenchmarkFig2(b *testing.B) {
 	m := campaign(experiments.P7OneChip)
 	var res experiments.Fig2Result
 	for i := 0; i < b.N; i++ {
-		res = experiments.Fig2(m)
+		res = experiments.Fig2(context.Background(), m)
 	}
 	names := []string{"L1MPKI", "CPI", "BrMPKI", "VSU"}
 	for i, r := range res.Correlations {
@@ -92,12 +92,12 @@ func BenchmarkFig2(b *testing.B) {
 
 // scatterBench regenerates one metric-vs-speedup figure and reports its
 // threshold and success rate.
-func scatterBench(b *testing.B, sys experiments.System, fig func(*experiments.Matrix) experiments.FigResult) {
+func scatterBench(b *testing.B, sys experiments.System, fig func(context.Context, *experiments.Matrix) experiments.FigResult) {
 	b.Helper()
 	m := campaign(sys)
 	var res experiments.FigResult
 	for i := 0; i < b.N; i++ {
-		res = fig(m)
+		res = fig(context.Background(), m)
 	}
 	b.Logf("%s: threshold %.4f, success %.0f%%, %d points, mispredicted %v",
 		res.ID, res.Threshold, 100*res.Accuracy, len(res.Points), res.Misclassified)
@@ -114,7 +114,7 @@ func BenchmarkFig7(b *testing.B) {
 	m := campaign(experiments.P7OneChip)
 	var rows []experiments.Fig7Row
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fig7(m)
+		rows = experiments.Fig7(context.Background(), m)
 	}
 	for _, r := range rows {
 		b.Logf("%-20s L%.1f S%.1f B%.1f FX%.1f VS%.1f (speedup %.2f)",
@@ -152,7 +152,7 @@ func BenchmarkFig15(b *testing.B) { scatterBench(b, experiments.P7TwoChip, exper
 func BenchmarkFig16(b *testing.B) {
 	m := campaign(experiments.P7OneChip)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig16(m)
+		res, err := experiments.Fig16(context.Background(), m)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,7 +168,7 @@ func BenchmarkFig16(b *testing.B) {
 func BenchmarkFig17(b *testing.B) {
 	m := campaign(experiments.P7OneChip)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig17(m)
+		res, err := experiments.Fig17(context.Background(), m)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -198,7 +198,7 @@ func BenchmarkController(b *testing.B) {
 			b.Fatal(err)
 		}
 		src := &benchChunks{spec: spec, chunks: 4}
-		if _, _, err := controller.RunAdaptive(m, ctrl, src, 0); err != nil {
+		if _, _, err := controller.RunAdaptiveContext(context.Background(), m, ctrl, src, 0); err != nil {
 			b.Fatal(err)
 		}
 		if ctrl.Level() >= 4 {
@@ -242,7 +242,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := smtselect.RunWorkload(m, spec, uint64(i))
+		res, err := smtselect.RunWorkload(context.Background(), m, spec, uint64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -258,7 +258,7 @@ func BenchmarkAblation(b *testing.B) {
 	m := campaign(experiments.P7OneChip)
 	var res []experiments.PredictorResult
 	for i := 0; i < b.N; i++ {
-		res = experiments.AblationStudy(m, experiments.P7Benchmarks, 4, 1)
+		res = experiments.AblationStudy(context.Background(), m, experiments.P7Benchmarks, 4, 1)
 	}
 	for _, p := range res {
 		b.Logf("%-36s %-9s accuracy %.0f%%  wrong=%v", p.Name, p.Kind, 100*p.Accuracy, p.Misclassified)
@@ -271,7 +271,7 @@ func BenchmarkPortability(b *testing.B) {
 	m := campaign(experiments.SMT8OneChip)
 	var res experiments.PortabilityResult
 	for i := 0; i < b.N; i++ {
-		res = experiments.Portability(m)
+		res = experiments.Portability(context.Background(), m)
 	}
 	b.Logf("SMT8/SMT1: threshold %.4f success %.0f%% wrong=%v",
 		res.Smt8VsSmt1.Threshold, 100*res.Smt8VsSmt1.Accuracy, res.Smt8VsSmt1.Misclassified)
@@ -287,7 +287,11 @@ func BenchmarkSensitivity(b *testing.B) {
 	variants := experiments.SensitivityVariants[:3]
 	var rows []experiments.SensitivityRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Sensitivity(experiments.DefaultSeed, variants...)
+		var err error
+		rows, err = experiments.Sensitivity(context.Background(), experiments.DefaultSeed, variants...)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range rows {
 		b.Logf("%-18s threshold %.4f accuracy %.0f%% spearman %.2f separable=%v",

@@ -39,11 +39,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx := context.Background()
 	m := experiments.NewMatrix(sys, experiments.DefaultSeed)
 	// Fill the whole matrix concurrently up front; the per-benchmark loop
 	// below then reads cached cells and the (%.0fs) column shows ~0.
-	pool := &experiments.Runner{Workers: *workers}
-	stats, err := pool.Sweep(context.Background(), m, benches, levels)
+	pool := &experiments.Runner{Workers: *workers, Now: time.Now}
+	stats, err := pool.Sweep(ctx, m, benches, levels)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -59,23 +60,23 @@ func main() {
 		var met [5]float64
 		hi := levels[len(levels)-1]
 		if len(levels) == 3 {
-			s41 = m.Speedup(b, 4, 1)
-			s42 = m.Speedup(b, 4, 2)
-			s21 = m.Speedup(b, 2, 1)
-			met[4] = m.Cell(b, 4).Metric.Value
-			met[2] = m.Cell(b, 2).Metric.Value
-			met[1] = m.Cell(b, 1).Metric.Value
+			s41 = m.Speedup(ctx, b, 4, 1)
+			s42 = m.Speedup(ctx, b, 4, 2)
+			s21 = m.Speedup(ctx, b, 2, 1)
+			met[4] = m.Cell(ctx, b, 4).Metric.Value
+			met[2] = m.Cell(ctx, b, 2).Metric.Value
+			met[1] = m.Cell(ctx, b, 1).Metric.Value
 		} else {
-			s21 = m.Speedup(b, 2, 1)
-			met[2] = m.Cell(b, 2).Metric.Value
-			met[1] = m.Cell(b, 1).Metric.Value
+			s21 = m.Speedup(ctx, b, 2, 1)
+			met[2] = m.Cell(ctx, b, 2).Metric.Value
+			met[1] = m.Cell(ctx, b, 1).Metric.Value
 		}
-		c := m.Cell(b, hi)
+		c := m.Cell(ctx, b, hi)
 		if c.Err != nil {
 			fmt.Printf("%-22s ERROR: %v\n", b, c.Err)
 			continue
 		}
-		c1 := m.Cell(b, 1)
+		c1 := m.Cell(ctx, b, 1)
 		fmt.Printf("%-22s %6.2f %6.2f %6.2f | %7.4f %7.4f %7.4f | %6.3f %6.3f %6.2f | %6.1f %5.2f %6.2f %5.1f  (%.0fs)\n",
 			b, s41, s42, s21, met[4], met[2], met[1],
 			c.Metric.DispHeld, c.Metric.MixDeviation, c.Metric.Scalability,

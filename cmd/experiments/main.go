@@ -53,14 +53,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	haveMode := *all || *ablation || *portability || *sensitivity || *table == 1 || *fig != ""
+	if !haveMode {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	// Ctrl-C cancels the sweep; cells already simulated are kept, so the
 	// figures render from whatever completed (partial figures show up as a
-	// reduced point count).
+	// reduced point count). All hard exits happen above this point: once the
+	// signal handler is registered, every path returns normally so the
+	// deferred stop runs (exitlint enforces this shape).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	runner := &runner{seed: *seed, quiet: *quiet, svgDir: *svgDir, ctx: ctx}
-	runner.pool = &experiments.Runner{Workers: *workers, CellTimeout: *cellTimeout}
+	runner := &runner{seed: *seed, quiet: *quiet, svgDir: *svgDir}
+	runner.pool = &experiments.Runner{Workers: *workers, CellTimeout: *cellTimeout, Now: time.Now}
 	if *progress {
 		runner.pool.OnEvent = func(ev experiments.Event) {
 			if ev.Cached {
@@ -74,34 +88,25 @@ func main() {
 				ev.Ref.Sys, ev.Ref.Bench, ev.Ref.SMT, ev.Elapsed.Seconds(), errMsg))
 		}
 	}
-	if *svgDir != "" {
-		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
 	switch {
 	case *all:
 		runner.table1()
-		runner.prefetchAll()
+		runner.prefetchAll(ctx)
 		for _, f := range []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "17"} {
-			runner.figure(f)
+			runner.figure(ctx, f)
 		}
-		runner.ablation()
-		runner.portability()
+		runner.ablation(ctx)
+		runner.portability(ctx)
 	case *ablation:
-		runner.ablation()
+		runner.ablation(ctx)
 	case *portability:
-		runner.portability()
+		runner.portability(ctx)
 	case *sensitivity:
-		runner.sensitivity()
+		runner.sensitivity(ctx)
 	case *table == 1:
 		runner.table1()
 	case *fig != "":
-		runner.figure(*fig)
-	default:
-		flag.Usage()
-		os.Exit(2)
+		runner.figure(ctx, *fig)
 	}
 	runner.campaignSummary()
 }
@@ -110,7 +115,6 @@ type runner struct {
 	seed     uint64
 	quiet    bool
 	svgDir   string
-	ctx      context.Context
 	pool     *experiments.Runner
 	total    experiments.Stats
 	matrices map[string]*experiments.Matrix
@@ -118,8 +122,8 @@ type runner struct {
 
 // sweep fills cells through the shared worker pool, accumulating
 // campaign-wide statistics.
-func (r *runner) sweep(specs ...experiments.SweepSpec) {
-	stats, err := r.pool.Campaign(r.ctx, specs)
+func (r *runner) sweep(ctx context.Context, specs ...experiments.SweepSpec) {
+	stats, err := r.pool.Campaign(ctx, specs)
 	r.total.Cells += stats.Cells
 	r.total.Failed += stats.Failed
 	r.total.Skipped += stats.Skipped
@@ -138,23 +142,23 @@ func (r *runner) sweep(specs ...experiments.SweepSpec) {
 }
 
 // prefetchFig fills one figure's cells concurrently before rendering.
-func (r *runner) prefetchFig(fig string) {
+func (r *runner) prefetchFig(ctx context.Context, fig string) {
 	benches, levels, sys, err := experiments.CellsFor(fig)
 	if err != nil {
 		return // table-style figures prefetch nothing
 	}
-	r.sweep(experiments.SweepSpec{Matrix: r.matrix(sys), Benches: benches, SMTs: levels})
+	r.sweep(ctx, experiments.SweepSpec{Matrix: r.matrix(sys), Benches: benches, SMTs: levels})
 }
 
 // prefetchAll fills every figure's cells in one shared-pool campaign, so
 // the whole-evaluation replay parallelises across systems too.
-func (r *runner) prefetchAll() {
+func (r *runner) prefetchAll(ctx context.Context) {
 	var specs []experiments.SweepSpec
 	for _, fc := range experiments.AllFigureCells() {
 		specs = append(specs, experiments.SweepSpec{Matrix: r.matrix(fc.Sys), Benches: fc.Benches, SMTs: fc.SMTs})
 	}
 	fmt.Println("== Filling the full run matrix (parallel deterministic sweep) ==")
-	r.sweep(specs...)
+	r.sweep(ctx, specs...)
 }
 
 // campaignSummary reports the whole invocation's sweep statistics.
@@ -192,7 +196,7 @@ func (r *runner) matrix(sys experiments.System) *experiments.Matrix {
 	// interrupt context and per-cell budget as the worker pool: after a
 	// Ctrl-C or timed-out sweep, figures render the completed cells instead
 	// of re-simulating the missing ones without bound.
-	m.SetCellPolicy(r.ctx, r.pool.CellTimeout)
+	m.CellBudget = r.pool.CellTimeout
 	r.matrices[sys.Name] = m
 	return m
 }
@@ -206,13 +210,13 @@ func (r *runner) table1() {
 	fmt.Println(t)
 }
 
-func (r *runner) figure(fig string) {
+func (r *runner) figure(ctx context.Context, fig string) {
 	t0 := time.Now()
-	r.prefetchFig(fig)
+	r.prefetchFig(ctx, fig)
 	switch fig {
 	case "1":
 		m := r.matrix(experiments.P7OneChip)
-		res := experiments.Fig1(m)
+		res := experiments.Fig1(ctx, m)
 		fmt.Println("== Fig. 1: SMT1 vs SMT4 performance, 8-core POWER7 ==")
 		fmt.Println("(bars are SMT4 performance normalised to SMT1; 1.0 = no change)")
 		fmt.Print(report.Bars("SMT4 performance / SMT1 performance", res.Benches, res.Normalized, "x"))
@@ -220,7 +224,7 @@ func (r *runner) figure(fig string) {
 			res.Benches, res.Normalized, "x"))
 	case "2":
 		m := r.matrix(experiments.P7OneChip)
-		res := experiments.Fig2(m)
+		res := experiments.Fig2(ctx, m)
 		fmt.Println("== Fig. 2: SMT4/SMT1 speedup vs naive single-number statistics (POWER7) ==")
 		t := report.NewTable("bench", "L1 MPKI", "CPI", "BrMPKI", "%VSU", "SMT4/SMT1")
 		for _, row := range res.Rows {
@@ -246,7 +250,7 @@ func (r *runner) figure(fig string) {
 		}
 	case "7":
 		m := r.matrix(experiments.P7OneChip)
-		rows := experiments.Fig7(m)
+		rows := experiments.Fig7(ctx, m)
 		fmt.Println("== Fig. 7: instruction mix of 5 benchmarks (POWER7, measured @SMT4) ==")
 		t := report.NewTable("bench", "%loads", "%stores", "%branches", "%FXU", "%VSU", "SMT4/SMT1")
 		for _, row := range rows {
@@ -262,7 +266,7 @@ func (r *runner) figure(fig string) {
 		fmt.Println(t)
 	case "16":
 		m := r.matrix(experiments.P7OneChip)
-		res, err := experiments.Fig16(m)
+		res, err := experiments.Fig16(ctx, m)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -274,7 +278,7 @@ func (r *runner) figure(fig string) {
 		r.writeSVG("fig16", curveSVG("Fig. 16: Gini impurity vs separator", "separator", "impurity", res.Curve))
 	case "17":
 		m := r.matrix(experiments.P7OneChip)
-		res, err := experiments.Fig17(m)
+		res, err := experiments.Fig17(ctx, m)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -284,13 +288,13 @@ func (r *runner) figure(fig string) {
 		r.curve("avg PPI (%)", res.Curve)
 		r.writeSVG("fig17", curveSVG("Fig. 17: average %PPI vs threshold", "threshold", "avg PPI (%)", res.Curve))
 	default:
-		r.scatterFigure(fig)
+		r.scatterFigure(ctx, fig)
 	}
 	fmt.Printf("[fig %s done in %.1fs]\n\n", fig, time.Since(t0).Seconds())
 }
 
 // scatterFigure renders one of the metric-vs-speedup figures.
-func (r *runner) scatterFigure(fig string) {
+func (r *runner) scatterFigure(ctx context.Context, fig string) {
 	_, _, sys, err := experiments.CellsFor(fig)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -300,34 +304,32 @@ func (r *runner) scatterFigure(fig string) {
 	var res experiments.FigResult
 	switch fig {
 	case "6":
-		res = experiments.Fig6(m)
+		res = experiments.Fig6(ctx, m)
 	case "8":
-		res = experiments.Fig8(m)
+		res = experiments.Fig8(ctx, m)
 	case "9":
-		res = experiments.Fig9(m)
+		res = experiments.Fig9(ctx, m)
 	case "10":
-		res = experiments.Fig10(m)
+		res = experiments.Fig10(ctx, m)
 	case "11":
-		res = experiments.Fig11(m)
+		res = experiments.Fig11(ctx, m)
 	case "12":
-		res = experiments.Fig12(m)
+		res = experiments.Fig12(ctx, m)
 	case "13":
-		res = experiments.Fig13(m)
+		res = experiments.Fig13(ctx, m)
 	case "14":
-		res = experiments.Fig14(m)
+		res = experiments.Fig14(ctx, m)
 	case "15":
-		res = experiments.Fig15(m)
+		res = experiments.Fig15(ctx, m)
 	}
 	fmt.Printf("== Fig. %s: %s ==\n", fig, res.Title)
 	t := report.NewTable("bench", "metric", "speedup", "classified")
-	pts := make([]threshold.Point, 0, len(res.Points))
 	for _, p := range res.Points {
 		ok := "ok"
 		if (p.Metric < res.Threshold) != (p.Speedup >= 1) {
 			ok = "MISPREDICTED"
 		}
 		t.AddRow(p.Bench, fmt.Sprintf("%.4f", p.Metric), fmt.Sprintf("%.2f", p.Speedup), ok)
-		pts = append(pts, threshold.Point{Metric: p.Metric, Speedup: p.Speedup, Label: p.Bench})
 	}
 	fmt.Println(t)
 	fmt.Printf("threshold %.4f: success rate %.0f%% (gini range [%.4f, %.4f], impurity %.3f; spearman %.2f)",
@@ -354,15 +356,14 @@ func (r *runner) scatterFigure(fig string) {
 		fmt.Println(sc.String())
 	}
 	r.writeSVG("fig"+fig, sc.SVG())
-	_ = pts
 }
 
 // ablation runs the metric-ablation and baseline-predictor study on the
 // single-chip POWER7 set.
-func (r *runner) ablation() {
+func (r *runner) ablation(ctx context.Context) {
 	m := r.matrix(experiments.P7OneChip)
-	r.sweep(experiments.SweepSpec{Matrix: m, Benches: experiments.P7Benchmarks, SMTs: []int{1, 4}})
-	res := experiments.AblationStudy(m, experiments.P7Benchmarks, 4, 1)
+	r.sweep(ctx, experiments.SweepSpec{Matrix: m, Benches: experiments.P7Benchmarks, SMTs: []int{1, 4}})
+	res := experiments.AblationStudy(ctx, m, experiments.P7Benchmarks, 4, 1)
 	fmt.Println("== Ablation & baseline study: SMT4-vs-SMT1 preference prediction (POWER7) ==")
 	fmt.Println("(each predictor gets its best threshold and orientation)")
 	t := report.NewTable("predictor", "kind", "accuracy", "mispredicted")
@@ -374,10 +375,10 @@ func (r *runner) ablation() {
 }
 
 // portability validates the metric on the GenericSMT8 architecture.
-func (r *runner) portability() {
+func (r *runner) portability(ctx context.Context) {
 	m := r.matrix(experiments.SMT8OneChip)
-	r.sweep(experiments.SweepSpec{Matrix: m, Benches: experiments.PortabilityBenchmarks, SMTs: []int{1, 4, 8}})
-	res := experiments.Portability(m)
+	r.sweep(ctx, experiments.SweepSpec{Matrix: m, Benches: experiments.PortabilityBenchmarks, SMTs: []int{1, 4, 8}})
+	res := experiments.Portability(ctx, m)
 	for _, fr := range []experiments.FigResult{res.Smt8VsSmt1, res.Smt8VsSmt4} {
 		fmt.Printf("== Portability: %s ==\n", fr.Title)
 		t := report.NewTable("bench", "metric", "speedup", "classified")
@@ -395,17 +396,21 @@ func (r *runner) portability() {
 }
 
 // sensitivity reports the metric's robustness to machine parameters.
-func (r *runner) sensitivity() {
+func (r *runner) sensitivity(ctx context.Context) {
 	fmt.Println("== Sensitivity: Fig. 6 methodology under machine-parameter variants ==")
 	fmt.Printf("(%d benchmarks per variant)\n", len(experiments.SensitivityBenchmarks))
+	rows, err := experiments.Sensitivity(ctx, r.seed)
 	t := report.NewTable("variant", "threshold", "accuracy", "spearman", "separable")
-	for _, row := range experiments.Sensitivity(r.seed) {
+	for _, row := range rows {
 		t.AddRow(row.Variant, fmt.Sprintf("%.4f", row.Threshold),
 			fmt.Sprintf("%.0f%%", 100*row.Accuracy),
 			fmt.Sprintf("%.2f", row.Spearman),
 			fmt.Sprintf("%v", row.Separable))
 	}
 	fmt.Println(t)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sensitivity interrupted: %v (rows above are partial)\n", err)
+	}
 }
 
 // curveSVG converts a threshold curve into an SVG document.

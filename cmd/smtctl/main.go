@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -63,7 +64,7 @@ func main() {
 
 	// Step 1: measure at the hardware default (the highest SMT level).
 	fmt.Printf("measuring %s at SMT%d (hardware default) ...\n", spec.Name, d.MaxSMT)
-	res, err := smtselect.RunWorkload(m, spec, *seed)
+	res, err := smtselect.RunWorkload(context.Background(), m, spec, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -90,7 +91,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			r, err := smtselect.RunWorkload(m, spec, *seed)
+			r, err := smtselect.RunWorkload(context.Background(), m, spec, *seed)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -105,7 +106,7 @@ func main() {
 
 	// Step 3: ground truth.
 	fmt.Println("\nbrute-force sweep (ground truth):")
-	best, all, err := smtselect.BestSMTLevel(d, *chips, spec, *seed)
+	best, all, err := smtselect.BestSMTLevel(context.Background(), d, *chips, spec, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

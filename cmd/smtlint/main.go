@@ -1,0 +1,76 @@
+// Command smtlint runs the repository's static-analysis suite
+// (internal/lint) over the module and prints findings as
+// file:line:col diagnostics or JSON.
+//
+// Usage:
+//
+//	go run ./cmd/smtlint ./...
+//	go run ./cmd/smtlint -json ./...
+//
+// Exit status: 0 when the tree is clean, 1 when findings were reported,
+// 2 when the module could not be loaded.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	// The only supported scope is the whole module: accept "./..." (or
+	// nothing) and resolve the module root from the working directory.
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "smtlint: unsupported pattern %q (only ./... is supported)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smtlint:", err)
+		os.Exit(2)
+	}
+	pkgs, fset, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smtlint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(fset, pkgs, analyzers)
+	if *jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{} // a clean tree is [], not null
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "smtlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "smtlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -69,8 +69,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	if err := run(srv, *addr, *archName, *thresh, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "smtservd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until a terminating signal or listener failure, then drains.
+// It owns every defer of the daemon's lifetime, so main can os.Exit on its
+// error without skipping cleanup (exitlint enforces this split).
+func run(srv *server.Server, addr, archName string, thresh float64, drainTimeout time.Duration) error {
 	httpSrv := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -81,27 +91,25 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "smtservd: serving on %s (arch=%s threshold=%g)\n",
-		*addr, *archName, *thresh)
+		addr, archName, thresh)
 
 	select {
 	case err := <-serveErr:
-		fmt.Fprintf(os.Stderr, "smtservd: %v\n", err)
-		os.Exit(1)
+		return err
 	case <-ctx.Done():
 	}
 
 	// Drain: stop advertising health, let in-flight requests finish.
 	fmt.Fprintln(os.Stderr, "smtservd: signal received, draining ...")
 	srv.BeginDrain()
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "smtservd: drain incomplete: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("drain incomplete: %w", err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "smtservd: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Fprintln(os.Stderr, "smtservd: drained, bye")
+	return nil
 }

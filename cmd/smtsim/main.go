@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -91,7 +92,7 @@ func main() {
 		spec.Name, d.Name, m.NumChips(), m.NumCores(), level, threads)
 
 	t0 := time.Now()
-	wall, err := m.Run(inst.Sources(), *maxCycles)
+	wall, err := m.RunContext(context.Background(), inst.Sources(), *maxCycles)
 	hostDur := time.Since(t0)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "run: %v (after %d cycles)\n", err, wall)

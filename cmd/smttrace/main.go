@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,13 +27,18 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	var err error
 	switch os.Args[1] {
 	case "record":
-		record(os.Args[2:])
+		err = record(os.Args[2:])
 	case "replay":
-		replay(os.Args[2:])
+		err = replay(os.Args[2:])
 	default:
 		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
@@ -41,7 +47,7 @@ func usage() {
 	os.Exit(2)
 }
 
-func record(args []string) {
+func record(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	benchName := fs.String("bench", "EP", "benchmark to trace")
 	// The default instantiation is single-threaded so barriers and locks
@@ -57,30 +63,39 @@ func record(args []string) {
 
 	spec, err := workload.Get(*benchName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	inst, err := workload.Instantiate(spec, *threads, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *threadID < 0 || *threadID >= *threads {
-		fatal(fmt.Errorf("thread %d out of range [0, %d)", *threadID, *threads))
+		return fmt.Errorf("thread %d out of range [0, %d)", *threadID, *threads)
 	}
 	f, err := os.Create(*out)
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	// The deferred Close covers the error paths; the success path closes
+	// explicitly below and checks the error (the second Close is a no-op).
 	defer f.Close()
 	got, err := trace.Record(inst.Sources()[*threadID], *n, f)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	st, _ := f.Stat()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing %s: %w", *out, err)
+	}
 	fmt.Printf("recorded %d instructions of %s thread %d to %s (%.1f KiB, %.2f B/instr)\n",
 		got, spec.Name, *threadID, *out, float64(st.Size())/1024, float64(st.Size())/float64(got))
+	return nil
 }
 
-func replay(args []string) {
+func replay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	in := fs.String("i", "out.trc", "input trace file")
 	archName := fs.String("arch", "power7", "architecture: power7, nehalem, smt8")
@@ -97,18 +112,18 @@ func replay(args []string) {
 	case "smt8":
 		d = arch.GenericSMT8()
 	default:
-		fatal(fmt.Errorf("unknown architecture %q", *archName))
+		return fmt.Errorf("unknown architecture %q", *archName)
 	}
 
 	m, err := cpu.NewMachine(d, 1)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := m.SetSMTLevel(*smt); err != nil {
-		fatal(err)
+		return err
 	}
 	if *copies < 1 || *copies > m.HardwareThreads() {
-		fatal(fmt.Errorf("copies %d out of range [1, %d]", *copies, m.HardwareThreads()))
+		return fmt.Errorf("copies %d out of range [1, %d]", *copies, m.HardwareThreads())
 	}
 
 	srcs := make([]isa.Source, *copies)
@@ -116,33 +131,29 @@ func replay(args []string) {
 	for i := range srcs {
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		r, err := trace.NewReader(f)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		readers[i] = r
 		srcs[i] = r
 	}
 
-	wall, err := m.Run(srcs, 0)
+	wall, err := m.RunContext(context.Background(), srcs, 0)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for i, r := range readers {
 		if r.Err() != nil {
-			fatal(fmt.Errorf("replay %d: %w", i, r.Err()))
+			return fmt.Errorf("replay %d: %w", i, r.Err())
 		}
 	}
 	snap := m.Counters()
 	fmt.Printf("replayed %s ×%d on %s @ SMT%d: %d cycles, IPC %.2f\n",
 		*in, *copies, d.Name, *smt, wall, snap.IPC())
 	fmt.Print(smtsm.Compute(d, &snap).String())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	return nil
 }

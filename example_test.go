@@ -1,6 +1,7 @@
 package smtselect_test
 
 import (
+	"context"
 	"fmt"
 
 	smtselect "repro"
@@ -17,7 +18,7 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := smtselect.RunWorkload(m, spec, 42)
+	res, err := smtselect.RunWorkload(context.Background(), m, spec, 42)
 	if err != nil {
 		panic(err)
 	}
@@ -32,7 +33,7 @@ func ExampleBestSMTLevel() {
 	if err != nil {
 		panic(err)
 	}
-	best, _, err := smtselect.BestSMTLevel(smtselect.POWER7(), 1, spec, 42)
+	best, _, err := smtselect.BestSMTLevel(context.Background(), smtselect.POWER7(), 1, spec, 42)
 	if err != nil {
 		panic(err)
 	}
@@ -76,7 +77,7 @@ func ExampleComputeMetric() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := smtselect.RunWorkload(m, spec, 42)
+	res, err := smtselect.RunWorkload(context.Background(), m, spec, 42)
 	if err != nil {
 		panic(err)
 	}

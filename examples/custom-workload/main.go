@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -45,7 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := smtselect.RunWorkload(m, spec, 7)
+	res, err := smtselect.RunWorkload(context.Background(), m, spec, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func main() {
 	const threshold = 0.21
 	fmt.Printf("prediction: lower SMT preferred = %v\n",
 		smtselect.PredictLowerSMT(res.Metric, threshold))
-	best, all, err := smtselect.BestSMTLevel(smtselect.POWER7(), 1, spec, 7)
+	best, all, err := smtselect.BestSMTLevel(context.Background(), smtselect.POWER7(), 1, spec, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func main() {
 	if err := replay.SetSMTLevel(1); err != nil {
 		log.Fatal(err)
 	}
-	wall, err := replay.Run([]isa.Source{r}, 0)
+	wall, err := replay.RunContext(context.Background(), []isa.Source{r}, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -84,7 +85,7 @@ func main() {
 		compute: compute, commit: commit,
 		chunkWork: 400_000, chunks: 16, phaseLen: 4, seed: 7,
 	}
-	entries, total, err := smtselect.RunAdaptive(m, ctrl, app, 0)
+	entries, total, err := smtselect.RunAdaptive(context.Background(), m, ctrl, app, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

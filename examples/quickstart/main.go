@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +12,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// An 8-core POWER7 chip; machines start at the deepest SMT level.
 	m, err := smtselect.NewPOWER7Machine(1)
 	if err != nil {
@@ -28,7 +31,7 @@ func main() {
 	if err := m.SetSMTLevel(4); err != nil {
 		log.Fatal(err)
 	}
-	at4, err := smtselect.RunWorkload(m, spec, 42)
+	at4, err := smtselect.RunWorkload(ctx, m, spec, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +51,7 @@ func main() {
 	if err := m.SetSMTLevel(1); err != nil {
 		log.Fatal(err)
 	}
-	at1, err := smtselect.RunWorkload(m, spec, 42)
+	at1, err := smtselect.RunWorkload(ctx, m, spec, 42)
 	if err != nil {
 		log.Fatal(err)
 	}

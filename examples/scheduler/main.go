@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -72,7 +73,7 @@ func main() {
 		log.Fatal(err)
 	}
 	src := &chunkedWorkload{spec: spec, chunkWork: chunkWork, remaining: totalWork, seed: 100}
-	logEntries, adaptive, err := smtselect.RunAdaptive(m, ctrl, src, 0)
+	logEntries, adaptive, err := smtselect.RunAdaptive(context.Background(), m, ctrl, src, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func main() {
 			if !ok {
 				break
 			}
-			wall, err := sm.Run(srcs, 0)
+			wall, err := sm.RunContext(context.Background(), srcs, 0)
 			if err != nil {
 				log.Fatal(err)
 			}

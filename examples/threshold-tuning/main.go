@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -27,7 +28,7 @@ func main() {
 	fmt.Println("calibrating the SMT-selection threshold on the Core i7 model")
 	fmt.Printf("(%d benchmarks, SMT2 vs SMT1)\n\n", len(benches))
 
-	cal, err := smtselect.Calibrate(smtselect.Nehalem(), 1, benches, 42)
+	cal, err := smtselect.Calibrate(context.Background(), smtselect.Nehalem(), 1, benches, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,14 +60,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := smtselect.RunWorkload(m, spec, 42)
+	res, err := smtselect.RunWorkload(context.Background(), m, spec, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nheld-out workload %s: metric %.4f → predict lower SMT: %v\n",
 		spec.Name, res.Metric.Value, smtselect.PredictLowerSMT(res.Metric, cal.GiniThreshold))
 
-	best, _, err := smtselect.BestSMTLevel(smtselect.Nehalem(), 1, spec, 42)
+	best, _, err := smtselect.BestSMTLevel(context.Background(), smtselect.Nehalem(), 1, spec, 42)
 	if err != nil {
 		log.Fatal(err)
 	}

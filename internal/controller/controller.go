@@ -147,18 +147,15 @@ type IntervalResult struct {
 	Retired uint64
 }
 
-// RunAdaptive drives machine through src's work, one chunk per interval,
-// consulting the controller between chunks. It returns the per-interval log
-// and the total wall cycles.
-func RunAdaptive(m *cpu.Machine, ctrl *Controller, src WorkSource, maxCycles int64) ([]IntervalResult, int64, error) {
-	return RunAdaptiveContext(context.Background(), m, ctrl, src, maxCycles)
-}
-
-// RunAdaptiveContext is RunAdaptive with cooperative cancellation: the
-// context is polled by the simulator during each interval and checked
-// between intervals, so a serving layer can bound an adaptive run with a
-// request deadline. On cancellation it returns the intervals completed so
-// far together with the context's error.
+// RunAdaptiveContext drives machine through src's work, one chunk per
+// interval, consulting the controller between chunks. It returns the
+// per-interval log and the total wall cycles.
+//
+// Cancellation is cooperative: the context is polled by the simulator
+// during each interval and checked between intervals, so a serving layer
+// can bound an adaptive run with a request deadline. On cancellation it
+// returns the intervals completed so far together with the context's
+// error.
 func RunAdaptiveContext(ctx context.Context, m *cpu.Machine, ctrl *Controller, src WorkSource, maxCycles int64) ([]IntervalResult, int64, error) {
 	var log []IntervalResult
 	var total int64

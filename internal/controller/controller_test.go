@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -187,7 +188,7 @@ func TestRunAdaptiveSwitchesForContendedWorkload(t *testing.T) {
 	}
 	spec, _ := workload.Get("SPECjbb_contention")
 	src := &chunkSource{spec: spec, chunks: 4, seed: 1}
-	log, total, err := RunAdaptive(m, ctrl, src, 100_000_000)
+	log, total, err := RunAdaptiveContext(context.Background(), m, ctrl, src, 100_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestRunAdaptiveKeepsSMTForScalableWorkload(t *testing.T) {
 	}
 	spec, _ := workload.Get("EP")
 	src := &chunkSource{spec: spec, chunks: 3, seed: 1}
-	log, _, err := RunAdaptive(m, ctrl, src, 100_000_000)
+	log, _, err := RunAdaptiveContext(context.Background(), m, ctrl, src, 100_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,78 @@
+package counters
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// mutateField sets every element of the field at index i to a distinct
+// non-zero value, so that any field AppendCanonical covers changes the
+// serialisation. Slice-valued fields are given a non-empty slice first, so
+// both their lengths and their elements are exercised.
+func mutateField(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Int, reflect.Int64:
+		v.SetInt(7)
+	case reflect.Uint64:
+		v.SetUint(7)
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			mutateField(v.Index(i))
+		}
+	case reflect.Slice:
+		v.Set(reflect.MakeSlice(v.Type(), 3, 3))
+		for i := 0; i < v.Len(); i++ {
+			mutateField(v.Index(i))
+		}
+	default:
+		panic(fmt.Sprintf("mutateField: unhandled kind %v", v.Kind()))
+	}
+}
+
+// TestAppendCanonicalCoversEveryField guards the canonical serialisation
+// against silent drift: if a field is ever added to Snapshot without being
+// wired into AppendCanonical (and canonicalVersion bumped), two snapshots
+// differing only in that field would alias the same fingerprint and poison
+// every cache keyed on it. The test mutates each exported field in turn via
+// reflection and demands the serialisation change.
+func TestAppendCanonicalCoversEveryField(t *testing.T) {
+	var zero Snapshot
+	base := zero.AppendCanonical(nil)
+
+	typ := reflect.TypeOf(Snapshot{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		var s Snapshot
+		mutateField(reflect.ValueOf(&s).Elem().Field(i))
+		got := s.AppendCanonical(nil)
+		if bytes.Equal(got, base) {
+			t.Errorf("mutating Snapshot.%s does not change AppendCanonical output; "+
+				"the field is missing from the canonical serialisation", f.Name)
+		}
+		if s.Fingerprint() == zero.Fingerprint() {
+			t.Errorf("mutating Snapshot.%s does not change Fingerprint", f.Name)
+		}
+	}
+}
+
+// TestAppendCanonicalSliceLengthMatters pins the length-prefix property: a
+// snapshot with three zero-valued ports must not serialise identically to one
+// with none, or caches could not tell machine shapes apart.
+func TestAppendCanonicalSliceLengthMatters(t *testing.T) {
+	var none, three Snapshot
+	three.IssuedByPort = make([]uint64, 3)
+	if bytes.Equal(none.AppendCanonical(nil), three.AppendCanonical(nil)) {
+		t.Error("zero-valued IssuedByPort slices of different lengths serialise identically")
+	}
+	none.ThreadBusy = nil
+	three.IssuedByPort = nil
+	three.ThreadBusy = make([]int64, 2)
+	if bytes.Equal(none.AppendCanonical(nil), three.AppendCanonical(nil)) {
+		t.Error("zero-valued ThreadBusy slices of different lengths serialise identically")
+	}
+}

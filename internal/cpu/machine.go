@@ -138,7 +138,7 @@ type Waker interface {
 	WakeHint(now int64) int64
 }
 
-// ErrCycleLimit is returned by Run when maxCycles elapses before every
+// ErrCycleLimit is returned by RunContext when maxCycles elapses before every
 // software thread finishes.
 var ErrCycleLimit = errors.New("cpu: cycle limit reached before all threads finished")
 
@@ -152,26 +152,23 @@ var ErrCanceled = errors.New("cpu: run canceled")
 // select every 16k cycles costs well under 0.1% of run time.
 const ctxCheckInterval = 1 << 14
 
-// Run places the given software-thread sources onto the machine's active
-// hardware contexts (thread i on context i, contexts enumerated core-major
-// across chips — the OS-affinity placement the paper's experiments use) and
-// simulates until all sources report done. It returns the wall-clock cycle
-// count of the run.
+// RunContext places the given software-thread sources onto the machine's
+// active hardware contexts (thread i on context i, contexts enumerated
+// core-major across chips — the OS-affinity placement the paper's
+// experiments use) and simulates until all sources report done. It returns
+// the wall-clock cycle count of the run.
 //
 // The number of sources must not exceed the active hardware thread count.
 // Microarchitectural state is NOT reset: successive runs see warm caches,
 // as successive measurement intervals do on real hardware. Counters
 // accumulate; use Counters before and after and Delta for interval numbers.
-func (m *Machine) Run(sources []isa.Source, maxCycles int64) (int64, error) {
-	return m.RunContext(context.Background(), sources, maxCycles)
-}
-
-// RunContext is Run with cooperative cancellation: the simulation polls
-// ctx every ctxCheckInterval simulated cycles and, when ctx is done,
-// returns the cycles simulated so far and an error wrapping both
-// ErrCanceled and ctx.Err() (so errors.Is works with either). Cancellation
-// does not perturb the simulation itself: a run that completes before the
-// deadline is bit-identical to one executed without a context.
+//
+// Cancellation is cooperative: the simulation polls ctx every
+// ctxCheckInterval simulated cycles and, when ctx is done, returns the
+// cycles simulated so far and an error wrapping both ErrCanceled and
+// ctx.Err() (so errors.Is works with either). Cancellation does not
+// perturb the simulation itself: a run that completes before the deadline
+// is bit-identical to one executed without a context.
 func (m *Machine) RunContext(ctx context.Context, sources []isa.Source, maxCycles int64) (int64, error) {
 	hw := m.HardwareThreads()
 	if len(sources) > hw {

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -53,14 +54,14 @@ func TestSetSMTLevel(t *testing.T) {
 
 func TestRunRejectsBadInputs(t *testing.T) {
 	m := newP7(t, 1)
-	if _, err := m.Run(nil, 0); err == nil {
+	if _, err := m.RunContext(context.Background(), nil, 0); err == nil {
 		t.Fatal("empty source list accepted")
 	}
 	too := make([]isa.Source, 33)
 	for i := range too {
 		too[i] = isa.Done{}
 	}
-	if _, err := m.Run(too, 0); err == nil {
+	if _, err := m.RunContext(context.Background(), too, 0); err == nil {
 		t.Fatal("oversubscription accepted")
 	}
 }
@@ -70,7 +71,7 @@ func TestRunCycleLimit(t *testing.T) {
 	m.SetSMTLevel(1)
 	// An infinite source must hit the cycle limit.
 	srcs := []isa.Source{&fixedStream{n: 1 << 60, class: isa.Int}}
-	_, err := m.Run(srcs, 1000)
+	_, err := m.RunContext(context.Background(), srcs, 1000)
 	if !errors.Is(err, ErrCycleLimit) {
 		t.Fatalf("err = %v, want ErrCycleLimit", err)
 	}
@@ -82,7 +83,7 @@ func TestRunDeterministic(t *testing.T) {
 		m.SetSMTLevel(4)
 		spec, _ := workload.Get("SSCA2")
 		inst, _ := workload.Instantiate(spec, 32, 11)
-		wall, err := m.Run(inst.Sources(), 0)
+		wall, err := m.RunContext(context.Background(), inst.Sources(), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func TestAllWorkRetired(t *testing.T) {
 	m.SetSMTLevel(2)
 	spec, _ := workload.Get("Blackscholes")
 	inst, _ := workload.Instantiate(spec, 16, 3)
-	if _, err := m.Run(inst.Sources(), 0); err != nil {
+	if _, err := m.RunContext(context.Background(), inst.Sources(), 0); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Counters()
@@ -121,7 +122,7 @@ func TestSMT4BeatsSMT1ForScalableLowILP(t *testing.T) {
 		m := newP7(t, 1)
 		m.SetSMTLevel(level)
 		inst, _ := workload.Instantiate(spec, m.HardwareThreads(), 1)
-		wall, err := m.Run(inst.Sources(), 0)
+		wall, err := m.RunContext(context.Background(), inst.Sources(), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func TestSMT4HurtsContendedWorkload(t *testing.T) {
 		m := newP7(t, 1)
 		m.SetSMTLevel(level)
 		inst, _ := workload.Instantiate(spec, m.HardwareThreads(), 1)
-		wall, err := m.Run(inst.Sources(), 0)
+		wall, err := m.RunContext(context.Background(), inst.Sources(), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,11 +161,11 @@ func TestCountersAccumulateAcrossRuns(t *testing.T) {
 	src := func() []isa.Source {
 		return []isa.Source{&fixedStream{n: 10_000, class: isa.Int}}
 	}
-	if _, err := m.Run(src(), 0); err != nil {
+	if _, err := m.RunContext(context.Background(), src(), 0); err != nil {
 		t.Fatal(err)
 	}
 	s1 := m.Counters()
-	if _, err := m.Run(src(), 0); err != nil {
+	if _, err := m.RunContext(context.Background(), src(), 0); err != nil {
 		t.Fatal(err)
 	}
 	s2 := m.Counters()
@@ -181,7 +182,7 @@ func TestResetClearsState(t *testing.T) {
 	m := newP7(t, 1)
 	m.SetSMTLevel(1)
 	srcs := []isa.Source{&fixedStream{n: 10_000, class: isa.Load, step: 64}}
-	if _, err := m.Run(srcs, 0); err != nil {
+	if _, err := m.RunContext(context.Background(), srcs, 0); err != nil {
 		t.Fatal(err)
 	}
 	m.Reset()
@@ -197,7 +198,7 @@ func TestDispHeldAccounting(t *testing.T) {
 	m := newP7(t, 1)
 	m.SetSMTLevel(1)
 	srcs := []isa.Source{&fixedStream{n: 50_000, class: isa.FPVec, dep: 1}}
-	if _, err := m.Run(srcs, 0); err != nil {
+	if _, err := m.RunContext(context.Background(), srcs, 0); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Counters()
@@ -211,7 +212,7 @@ func TestBranchCountersFlow(t *testing.T) {
 	m.SetSMTLevel(1)
 	spec, _ := workload.Get("Gafort") // branchy workload
 	inst, _ := workload.Instantiate(spec, 8, 1)
-	if _, err := m.Run(inst.Sources(), 0); err != nil {
+	if _, err := m.RunContext(context.Background(), inst.Sources(), 0); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Counters()
@@ -228,7 +229,7 @@ func TestCacheLevelCountersFlow(t *testing.T) {
 	m.SetSMTLevel(1)
 	spec, _ := workload.Get("Stream")
 	inst, _ := workload.Instantiate(spec, 8, 1)
-	if _, err := m.Run(inst.Sources(), 0); err != nil {
+	if _, err := m.RunContext(context.Background(), inst.Sources(), 0); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Counters()
@@ -247,7 +248,7 @@ func TestTwoChipNUMATraffic(t *testing.T) {
 	m.SetSMTLevel(1)
 	spec, _ := workload.Get("SSCA2")
 	inst, _ := workload.Instantiate(spec, 16, 1)
-	if _, err := m.Run(inst.Sources(), 0); err != nil {
+	if _, err := m.RunContext(context.Background(), inst.Sources(), 0); err != nil {
 		t.Fatal(err)
 	}
 	for ci, chip := range m.chips {
@@ -266,7 +267,7 @@ func TestFewerSourcesThanContexts(t *testing.T) {
 		&fixedStream{n: 5000, class: isa.Int},
 		&fixedStream{n: 5000, class: isa.Int},
 	}
-	if _, err := m.Run(srcs, 0); err != nil {
+	if _, err := m.RunContext(context.Background(), srcs, 0); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Counters()
@@ -288,7 +289,7 @@ func TestNehalemMachine(t *testing.T) {
 	}
 	spec, _ := workload.Get("Swaptions")
 	inst, _ := workload.Instantiate(spec, 8, 1)
-	if _, err := m.Run(inst.Sources(), 0); err != nil {
+	if _, err := m.RunContext(context.Background(), inst.Sources(), 0); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Counters()
@@ -315,7 +316,7 @@ func TestIdleSkipWithSleepers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wall, err := m.Run(inst.Sources(), 5_000_000)
+	wall, err := m.RunContext(context.Background(), inst.Sources(), 5_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func TestMispredictStallsFetch(t *testing.T) {
 		m := newP7(t, 1)
 		m.SetSMTLevel(1)
 		src := &branchStream{n: 20_000, pattern: pattern}
-		wall, err := m.Run([]isa.Source{src}, 0)
+		wall, err := m.RunContext(context.Background(), []isa.Source{src}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -44,7 +45,7 @@ func runOne(t *testing.T, d *arch.Desc, src isa.Source) (uint64, int64) {
 	}
 	srcs := make([]isa.Source, 1)
 	srcs[0] = src
-	wall, err := m.Run(srcs, 10_000_000)
+	wall, err := m.RunContext(context.Background(), srcs, 10_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -73,7 +74,7 @@ func TestStreamingWorkloadTriggersPrefetch(t *testing.T) {
 	m.SetSMTLevel(1)
 	// A pure sequential walk far beyond every cache.
 	srcs := []isa.Source{&fixedStream{n: 200_000, class: isa.Load, step: 8}}
-	if _, err := m.Run(srcs, 0); err != nil {
+	if _, err := m.RunContext(context.Background(), srcs, 0); err != nil {
 		t.Fatal(err)
 	}
 	core := m.chips[0].cores[0]
@@ -92,7 +93,7 @@ func TestRandomWorkloadBarelyPrefetches(t *testing.T) {
 	m := newP7(t, 1)
 	m.SetSMTLevel(1)
 	srcs := []isa.Source{&randomLoads{n: 200_000, span: 64 << 20}}
-	if _, err := m.Run(srcs, 0); err != nil {
+	if _, err := m.RunContext(context.Background(), srcs, 0); err != nil {
 		t.Fatal(err)
 	}
 	core := m.chips[0].cores[0]
@@ -108,7 +109,7 @@ func TestPrefetchingImprovesStreamingPerformance(t *testing.T) {
 	run := func(src isa.Source) int64 {
 		m := newP7(t, 1)
 		m.SetSMTLevel(1)
-		wall, err := m.Run([]isa.Source{src}, 0)
+		wall, err := m.RunContext(context.Background(), []isa.Source{src}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +127,7 @@ func TestPrefetchConsumesBandwidth(t *testing.T) {
 	m := newP7(t, 1)
 	m.SetSMTLevel(1)
 	srcs := []isa.Source{&fixedStream{n: 200_000, class: isa.Load, step: 8}}
-	if _, err := m.Run(srcs, 0); err != nil {
+	if _, err := m.RunContext(context.Background(), srcs, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Lines transferred must be close to the footprint's line count —

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -83,7 +84,7 @@ func TestRandomWorkloadInvariants(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			wall, err := m.Run(inst.Sources(), 80_000_000)
+			wall, err := m.RunContext(context.Background(), inst.Sources(), 80_000_000)
 			if err != nil {
 				t.Fatalf("trial %d (SMT%d): %v", trial, level, err)
 			}

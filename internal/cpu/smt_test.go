@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -19,7 +20,7 @@ func runMulti(t *testing.T, level, n int, mk func() isa.Source) int64 {
 	for i := range srcs {
 		srcs[i] = mk()
 	}
-	wall, err := m.Run(srcs, 0)
+	wall, err := m.RunContext(context.Background(), srcs, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestRetireIsInOrder(t *testing.T) {
 		&fixedStream{n: 7000, class: isa.Int, dep: 1},
 		&fixedStream{n: 9000, class: isa.Load, step: 8, mask: 4<<10 - 1},
 	}
-	if _, err := m.Run(srcs, 0); err != nil {
+	if _, err := m.RunContext(context.Background(), srcs, 0); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Counters()
@@ -127,7 +128,7 @@ func TestIssuePortEligibility(t *testing.T) {
 	m := newP7(t, 1)
 	m.SetSMTLevel(1)
 	srcs := []isa.Source{&fixedStream{n: 10_000, class: isa.Load, step: 8, mask: 4<<10 - 1}}
-	if _, err := m.Run(srcs, 0); err != nil {
+	if _, err := m.RunContext(context.Background(), srcs, 0); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Counters()
@@ -151,7 +152,7 @@ func TestSMT2SharesCoreFairly(t *testing.T) {
 		&fixedStream{n: 30_000, class: isa.Int, dep: 1},
 		&fixedStream{n: 30_000, class: isa.Int, dep: 1},
 	}
-	if _, err := m.Run(srcs, 0); err != nil {
+	if _, err := m.RunContext(context.Background(), srcs, 0); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Counters()
@@ -173,7 +174,7 @@ func TestSMT8Machine(t *testing.T) {
 	for i := range srcs {
 		srcs[i] = &fixedStream{n: 2000, class: isa.Int, dep: 1}
 	}
-	if _, err := m.Run(srcs, 0); err != nil {
+	if _, err := m.RunContext(context.Background(), srcs, 0); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Counters()
@@ -190,7 +191,7 @@ func TestLoadOnlyPortsRejectStores(t *testing.T) {
 	}
 	m.SetSMTLevel(1)
 	srcs := []isa.Source{&fixedStream{n: 20_000, class: isa.Store, step: 8, mask: 4<<10 - 1}}
-	if _, err := m.Run(srcs, 0); err != nil {
+	if _, err := m.RunContext(context.Background(), srcs, 0); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Counters()

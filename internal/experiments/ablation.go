@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/isa"
@@ -84,14 +85,14 @@ func bestSplitEitherWay(pts []threshold.Point) (float64, float64, []string) {
 
 // statPoint builds classification observations from a per-benchmark value
 // extractor.
-func statPoints(m *Matrix, benches []string, hi, lo int, value func(*Cell) float64) []threshold.Point {
+func statPoints(ctx context.Context, m *Matrix, benches []string, hi, lo int, value func(*Cell) float64) []threshold.Point {
 	var pts []threshold.Point
 	for _, b := range benches {
-		c := m.Cell(b, hi)
+		c := m.Cell(ctx, b, hi)
 		if c.Err != nil {
 			continue
 		}
-		sp := m.Speedup(b, hi, lo)
+		sp := m.Speedup(ctx, b, hi, lo)
 		if sp <= 0 {
 			continue
 		}
@@ -104,11 +105,11 @@ func statPoints(m *Matrix, benches []string, hi, lo int, value func(*Cell) float
 // variants, the naive Fig. 2 statistics, an IPC-comparison probe, and the
 // oracle, classifying "does the high SMT level beat the low one" over the
 // benchmark set.
-func AblationStudy(m *Matrix, benches []string, hi, lo int) []PredictorResult {
+func AblationStudy(ctx context.Context, m *Matrix, benches []string, hi, lo int) []PredictorResult {
 	var out []PredictorResult
 
 	eval := func(name, kind string, value func(*Cell) float64) {
-		pts := statPoints(m, benches, hi, lo, value)
+		pts := statPoints(ctx, m, benches, hi, lo, value)
 		if len(pts) == 0 {
 			return
 		}
@@ -147,11 +148,11 @@ func AblationStudy(m *Matrix, benches []string, hi, lo int) []PredictorResult {
 		var mis []string
 		n, ok := 0, 0
 		for _, b := range benches {
-			chi, clo := m.Cell(b, hi), m.Cell(b, lo)
+			chi, clo := m.Cell(ctx, b, hi), m.Cell(ctx, b, lo)
 			if chi.Err != nil || clo.Err != nil {
 				continue
 			}
-			sp := m.Speedup(b, hi, lo)
+			sp := m.Speedup(ctx, b, hi, lo)
 			if sp <= 0 {
 				continue
 			}

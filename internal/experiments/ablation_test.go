@@ -1,12 +1,15 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestAblationStudyRuns(t *testing.T) {
 	skipHeavySim(t)
 	m := NewMatrix(P7OneChip, DefaultSeed)
 	subset := []string{"EP", "Blackscholes", "Stream", "SSCA2", "SPECjbb_contention", "Dedup", "Swim", "BT"}
-	res := AblationStudy(m, subset, 4, 1)
+	res := AblationStudy(context.Background(), m, subset, 4, 1)
 	if len(res) < 10 {
 		t.Fatalf("only %d predictors evaluated", len(res))
 	}
@@ -50,7 +53,10 @@ func TestSensitivityVariantsValid(t *testing.T) {
 
 func TestSensitivityBaseline(t *testing.T) {
 	skipHeavySim(t)
-	rows := Sensitivity(DefaultSeed, SensitivityVariants[0]) // baseline only, for speed
+	rows, err := Sensitivity(context.Background(), DefaultSeed, SensitivityVariants[0]) // baseline only, for speed
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rows[0].Variant != "baseline" {
 		t.Fatal("first variant must be the baseline")
 	}

@@ -77,28 +77,18 @@ type Matrix struct {
 	Sys  System
 	Seed uint64
 
+	// CellBudget bounds each on-demand simulation with a per-cell deadline
+	// derived from the caller's context; 0 means no per-cell bound. Set it
+	// before sharing the matrix across goroutines. With a budget installed,
+	// rendering after a canceled or timed-out sweep reports the missing
+	// cells as failed instead of silently re-simulating them without bound,
+	// so partial figures really are partial.
+	CellBudget time.Duration
+
 	mu    sync.Mutex
 	cells map[string]*cellEntry
 	// archDesc is a cached description for metric evaluation.
 	archDesc *arch.Desc
-	// baseCtx and cellBudget govern the context-free accessors (Cell,
-	// Speedup) used by the figure render path; see SetCellPolicy.
-	baseCtx    context.Context
-	cellBudget time.Duration
-}
-
-// SetCellPolicy installs the context and per-simulation wall-clock budget
-// consulted by the context-free accessors (Cell, Speedup) — the figure
-// render path. Without a policy those accessors run missing cells to
-// completion on context.Background; with one, rendering after a canceled or
-// timed-out sweep reports the missing cells as failed instead of silently
-// re-simulating them without bound, so partial figures really are partial.
-// A zero cellBudget means no per-cell deadline.
-func (m *Matrix) SetCellPolicy(ctx context.Context, cellBudget time.Duration) {
-	m.mu.Lock()
-	m.baseCtx = ctx
-	m.cellBudget = cellBudget
-	m.mu.Unlock()
 }
 
 // cellEntry is the singleflight slot for one (bench, smt) cell: the first
@@ -122,28 +112,18 @@ func cellKey(bench string, smt int) string { return fmt.Sprintf("%s@%d", bench, 
 // Cell returns the cached result for (bench, smt), running the simulation on
 // first use. It is safe for concurrent use; distinct cells may compute in
 // parallel, and concurrent requests for the same cell share one computation.
-// Cancellation and per-cell deadlines follow the matrix's SetCellPolicy.
-func (m *Matrix) Cell(bench string, smt int) *Cell {
-	m.mu.Lock()
-	ctx, budget := m.baseCtx, m.cellBudget
-	m.mu.Unlock()
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if budget > 0 {
-		cctx, cancel := context.WithTimeout(ctx, budget)
+//
+// A cell interrupted by ctx (or by the matrix's CellBudget deadline)
+// reports the context error (alongside whatever counters the partial run
+// accumulated) but is NOT cached, so a later call with a live context
+// recomputes it. Completed cells — including deterministic failures such
+// as the cycle limit — are cached permanently.
+func (m *Matrix) Cell(ctx context.Context, bench string, smt int) *Cell {
+	if m.CellBudget > 0 {
+		cctx, cancel := context.WithTimeout(ctx, m.CellBudget)
 		defer cancel()
 		ctx = cctx
 	}
-	return m.CellCtx(ctx, bench, smt)
-}
-
-// CellCtx is Cell with cancellation: a cell interrupted by ctx reports the
-// context error (alongside whatever counters the partial run accumulated)
-// but is NOT cached, so a later call with a live context recomputes it.
-// Completed cells — including deterministic failures such as the cycle
-// limit — are cached permanently.
-func (m *Matrix) CellCtx(ctx context.Context, bench string, smt int) *Cell {
 	key := cellKey(bench, smt)
 	m.mu.Lock()
 	e, ok := m.cells[key]
@@ -176,9 +156,14 @@ func (m *Matrix) CellCtx(ctx context.Context, bench string, smt int) *Cell {
 // or timed-out sweep.
 func (m *Matrix) Cached() []*Cell {
 	m.mu.Lock()
-	entries := make([]*cellEntry, 0, len(m.cells))
-	for _, e := range m.cells {
-		entries = append(entries, e)
+	keys := make([]string, 0, len(m.cells))
+	for k := range m.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	entries := make([]*cellEntry, 0, len(keys))
+	for _, k := range keys {
+		entries = append(entries, m.cells[k])
 	}
 	m.mu.Unlock()
 	var out []*Cell
@@ -230,9 +215,9 @@ func (m *Matrix) run(ctx context.Context, bench string, smt int) *Cell {
 
 // Speedup returns wall(smtLow)/wall(smtHigh) for a benchmark: >1 means the
 // higher SMT level wins.
-func (m *Matrix) Speedup(bench string, smtHigh, smtLow int) float64 {
-	hi := m.Cell(bench, smtHigh)
-	lo := m.Cell(bench, smtLow)
+func (m *Matrix) Speedup(ctx context.Context, bench string, smtHigh, smtLow int) float64 {
+	hi := m.Cell(ctx, bench, smtHigh)
+	lo := m.Cell(ctx, bench, smtLow)
 	if hi.Err != nil || lo.Err != nil || hi.Wall == 0 {
 		return 0
 	}
@@ -241,10 +226,12 @@ func (m *Matrix) Speedup(bench string, smtHigh, smtLow int) float64 {
 
 // Prefetch computes the given cells using up to workers goroutines
 // (defaulting to GOMAXPROCS). It is a convenience wrapper around
-// (*Runner).Sweep with no cancellation, timeout, or progress reporting.
-func (m *Matrix) Prefetch(benches []string, smts []int, workers int) {
+// (*Runner).Sweep with no timeout or progress reporting; the error is
+// ctx.Err() when the prefetch was cut short.
+func (m *Matrix) Prefetch(ctx context.Context, benches []string, smts []int, workers int) error {
 	r := Runner{Workers: workers}
-	r.Sweep(context.Background(), m, benches, smts)
+	_, err := r.Sweep(ctx, m, benches, smts)
+	return err
 }
 
 // Benchmark lists, per figure, transcribed from the paper's figure labels.

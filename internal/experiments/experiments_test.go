@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -72,8 +73,8 @@ func TestCellsFor(t *testing.T) {
 func TestMatrixCachesCells(t *testing.T) {
 	skipHeavySim(t)
 	m := NewMatrix(P7OneChip, DefaultSeed)
-	c1 := m.Cell("EP", 1)
-	c2 := m.Cell("EP", 1)
+	c1 := m.Cell(context.Background(), "EP", 1)
+	c2 := m.Cell(context.Background(), "EP", 1)
 	if c1 != c2 {
 		t.Fatal("matrix did not cache the cell")
 	}
@@ -88,9 +89,9 @@ func TestMatrixCachesCells(t *testing.T) {
 func TestSpeedupDefinition(t *testing.T) {
 	skipHeavySim(t)
 	m := NewMatrix(P7OneChip, DefaultSeed)
-	s := m.Speedup("EP", 4, 1)
-	w4 := m.Cell("EP", 4).Wall
-	w1 := m.Cell("EP", 1).Wall
+	s := m.Speedup(context.Background(), "EP", 4, 1)
+	w4 := m.Cell(context.Background(), "EP", 4).Wall
+	w1 := m.Cell(context.Background(), "EP", 1).Wall
 	if math.Abs(s-float64(w1)/float64(w4)) > 1e-12 {
 		t.Fatalf("speedup %v != wall ratio %v/%v", s, w1, w4)
 	}
@@ -104,7 +105,7 @@ func TestFig6HeadlineClaims(t *testing.T) {
 	skipHeavySim(t)
 	m := NewMatrix(P7OneChip, DefaultSeed)
 	subset := []string{"EP", "Blackscholes", "Fluidanimate", "Stream", "SSCA2", "SPECjbb_contention", "Dedup", "Swim"}
-	res := scatter(m, "fig6-subset", "subset", subset, 4, 4, 1)
+	res := scatter(context.Background(), m, "fig6-subset", "subset", subset, 4, 4, 1)
 	if len(res.Points) != len(subset) {
 		t.Fatalf("%d points, want %d", len(res.Points), len(subset))
 	}
@@ -142,10 +143,10 @@ func TestFig11MetricBreaksDownAtSMT1(t *testing.T) {
 	m := NewMatrix(P7OneChip, DefaultSeed)
 	// At SMT4 the contended workload's metric towers over EP's; at SMT1
 	// the gap collapses (less contention is visible with 8 threads).
-	ep4 := m.Cell("EP", 4).Metric.Value
-	cont4 := m.Cell("SPECjbb_contention", 4).Metric.Value
-	ep1 := m.Cell("EP", 1).Metric.Value
-	cont1 := m.Cell("SPECjbb_contention", 1).Metric.Value
+	ep4 := m.Cell(context.Background(), "EP", 4).Metric.Value
+	cont4 := m.Cell(context.Background(), "SPECjbb_contention", 4).Metric.Value
+	ep1 := m.Cell(context.Background(), "EP", 1).Metric.Value
+	cont1 := m.Cell(context.Background(), "SPECjbb_contention", 1).Metric.Value
 	gapAt4 := cont4 / ep4
 	gapAt1 := cont1 / ep1
 	if gapAt1 >= gapAt4 {
@@ -165,7 +166,7 @@ func TestFig2NoStrongCorrelation(t *testing.T) {
 	m := NewMatrix(P7OneChip, DefaultSeed)
 	// A subset keeps the runtime bounded; the correlation claim holds on
 	// any diverse slice of the suite.
-	res := fig2Subset(m, []string{
+	res := fig2Subset(context.Background(), m, []string{
 		"EP", "Blackscholes", "Stream", "Swim", "SSCA2",
 		"SPECjbb_contention", "Dedup", "IS", "BT", "CG_MPI",
 	})
@@ -183,7 +184,7 @@ func TestAmbiguousBand(t *testing.T) {
 	// simulated subset instead.
 	skipHeavySim(t)
 	m := NewMatrix(P7OneChip, DefaultSeed)
-	res := scatter(m, "band", "band", []string{"EP", "Stream"}, 4, 4, 1)
+	res := scatter(context.Background(), m, "band", "band", []string{"EP", "Stream"}, 4, 4, 1)
 	// EP (winner, low metric) and Stream (loser, high metric) separate
 	// perfectly: the band must be empty.
 	if res.AmbiguousLo <= res.AmbiguousHi {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/isa"
@@ -54,15 +55,15 @@ type FigResult struct {
 }
 
 // scatter builds a metric-vs-speedup figure from a matrix.
-func scatter(m *Matrix, id, title string, benches []string, metricAt, hi, lo int) FigResult {
+func scatter(ctx context.Context, m *Matrix, id, title string, benches []string, metricAt, hi, lo int) FigResult {
 	r := FigResult{ID: id, Title: title, MetricAt: metricAt, SpeedupHi: hi, SpeedupLo: lo}
 	var pts []threshold.Point
 	for _, b := range benches {
-		cell := m.Cell(b, metricAt)
+		cell := m.Cell(ctx, b, metricAt)
 		if cell.Err != nil {
 			continue
 		}
-		sp := m.Speedup(b, hi, lo)
+		sp := m.Speedup(ctx, b, hi, lo)
 		if sp <= 0 {
 			continue
 		}
@@ -84,7 +85,9 @@ func scatter(m *Matrix, id, title string, benches []string, metricAt, hi, lo int
 		ms = append(ms, p.Metric)
 		sps = append(sps, p.Speedup)
 	}
-	r.Spearman, _ = stats.Spearman(ms, sps)
+	if rho, err := stats.Spearman(ms, sps); err == nil {
+		r.Spearman = rho
+	}
 	// The ambiguous band: metrics between the smallest loser and the
 	// largest winner cannot be classified by any single threshold.
 	minBad, maxGood := 0.0, 0.0
@@ -112,62 +115,62 @@ func scatter(m *Matrix, id, title string, benches []string, metricAt, hi, lo int
 
 // Fig6 reproduces Fig. 6: SMT4/SMT1 speedup vs SMTsm@SMT4 on one POWER7
 // chip — the paper's headline result (93% prediction success).
-func Fig6(m *Matrix) FigResult {
-	return scatter(m, "fig6", "SMT4/SMT1 speedup vs metric @SMT4 (POWER7, 1 chip)",
+func Fig6(ctx context.Context, m *Matrix) FigResult {
+	return scatter(ctx, m, "fig6", "SMT4/SMT1 speedup vs metric @SMT4 (POWER7, 1 chip)",
 		P7Benchmarks, 4, 4, 1)
 }
 
 // Fig8 reproduces Fig. 8: SMT4/SMT2 speedup vs SMTsm@SMT4.
-func Fig8(m *Matrix) FigResult {
-	return scatter(m, "fig8", "SMT4/SMT2 speedup vs metric @SMT4 (POWER7, 1 chip)",
+func Fig8(ctx context.Context, m *Matrix) FigResult {
+	return scatter(ctx, m, "fig8", "SMT4/SMT2 speedup vs metric @SMT4 (POWER7, 1 chip)",
 		P7Benchmarks, 4, 4, 2)
 }
 
 // Fig9 reproduces Fig. 9: SMT2/SMT1 speedup vs SMTsm@SMT2, where the paper
 // finds a band of metric values in which no prediction is possible.
-func Fig9(m *Matrix) FigResult {
-	return scatter(m, "fig9", "SMT2/SMT1 speedup vs metric @SMT2 (POWER7, 1 chip)",
+func Fig9(ctx context.Context, m *Matrix) FigResult {
+	return scatter(ctx, m, "fig9", "SMT2/SMT1 speedup vs metric @SMT2 (POWER7, 1 chip)",
 		P7Benchmarks, 2, 2, 1)
 }
 
 // Fig10 reproduces Fig. 10: SMT2/SMT1 speedup vs SMTsm@SMT2 on the Nehalem
 // system (86% success; Streamcluster is the expected outlier).
-func Fig10(m *Matrix) FigResult {
-	return scatter(m, "fig10", "SMT2/SMT1 speedup vs metric @SMT2 (Core i7)",
+func Fig10(ctx context.Context, m *Matrix) FigResult {
+	return scatter(ctx, m, "fig10", "SMT2/SMT1 speedup vs metric @SMT2 (Core i7)",
 		I7Benchmarks, 2, 2, 1)
 }
 
 // Fig11 reproduces Fig. 11: the metric measured at SMT1 fails to predict the
 // SMT4/SMT1 speedup (POWER7).
-func Fig11(m *Matrix) FigResult {
-	return scatter(m, "fig11", "SMT4/SMT1 speedup vs metric @SMT1 (POWER7, 1 chip)",
+func Fig11(ctx context.Context, m *Matrix) FigResult {
+	return scatter(ctx, m, "fig11", "SMT4/SMT1 speedup vs metric @SMT1 (POWER7, 1 chip)",
 		Fig11Benchmarks, 1, 4, 1)
 }
 
 // Fig12 reproduces Fig. 12: the metric measured at SMT1 fails on Nehalem
 // too.
-func Fig12(m *Matrix) FigResult {
-	return scatter(m, "fig12", "SMT2/SMT1 speedup vs metric @SMT1 (Core i7)",
+func Fig12(ctx context.Context, m *Matrix) FigResult {
+	return scatter(ctx, m, "fig12", "SMT2/SMT1 speedup vs metric @SMT1 (Core i7)",
 		Fig12Benchmarks, 1, 2, 1)
 }
 
 // Fig13 reproduces Fig. 13: SMT4/SMT1 vs SMTsm@SMT4 on two chips (16 cores):
 // more mispredictions and more SMT1-preferring applications than Fig. 6.
-func Fig13(m *Matrix) FigResult {
-	return scatter(m, "fig13", "SMT4/SMT1 speedup vs metric @SMT4 (POWER7, 2 chips)",
+func Fig13(ctx context.Context, m *Matrix) FigResult {
+	return scatter(ctx, m, "fig13", "SMT4/SMT1 speedup vs metric @SMT4 (POWER7, 2 chips)",
 		Fig13Benchmarks, 4, 4, 1)
 }
 
 // Fig14 reproduces Fig. 14: SMT4/SMT2 vs SMTsm@SMT4 on two chips.
-func Fig14(m *Matrix) FigResult {
-	return scatter(m, "fig14", "SMT4/SMT2 speedup vs metric @SMT4 (POWER7, 2 chips)",
+func Fig14(ctx context.Context, m *Matrix) FigResult {
+	return scatter(ctx, m, "fig14", "SMT4/SMT2 speedup vs metric @SMT4 (POWER7, 2 chips)",
 		Fig14Benchmarks, 4, 4, 2)
 }
 
 // Fig15 reproduces Fig. 15: SMT2/SMT1 vs SMTsm@SMT2 on two chips
 // (prediction ineffective, as in the single-chip case).
-func Fig15(m *Matrix) FigResult {
-	return scatter(m, "fig15", "SMT2/SMT1 speedup vs metric @SMT2 (POWER7, 2 chips)",
+func Fig15(ctx context.Context, m *Matrix) FigResult {
+	return scatter(ctx, m, "fig15", "SMT2/SMT1 speedup vs metric @SMT2 (POWER7, 2 chips)",
 		Fig15Benchmarks, 2, 2, 1)
 }
 
@@ -179,17 +182,17 @@ type Fig1Result struct {
 }
 
 // Fig1 reproduces Fig. 1: Equake degrades, MG is indifferent, EP gains.
-func Fig1(m *Matrix) Fig1Result {
-	return Fig1Of(m, Fig1Benchmarks)
+func Fig1(ctx context.Context, m *Matrix) Fig1Result {
+	return Fig1Of(ctx, m, Fig1Benchmarks)
 }
 
 // Fig1Of computes the Fig. 1 normalisation over an explicit benchmark set
 // (golden tests pin reduced sets to keep regression runs fast).
-func Fig1Of(m *Matrix, benches []string) Fig1Result {
+func Fig1Of(ctx context.Context, m *Matrix, benches []string) Fig1Result {
 	r := Fig1Result{}
 	for _, b := range benches {
 		r.Benches = append(r.Benches, b)
-		r.Normalized = append(r.Normalized, m.Speedup(b, 4, 1))
+		r.Normalized = append(r.Normalized, m.Speedup(ctx, b, 4, 1))
 	}
 	return r
 }
@@ -216,16 +219,16 @@ type Fig2Result struct {
 }
 
 // Fig2 reproduces Fig. 2's scatter panels.
-func Fig2(m *Matrix) Fig2Result {
-	return fig2Subset(m, P7Benchmarks)
+func Fig2(ctx context.Context, m *Matrix) Fig2Result {
+	return fig2Subset(ctx, m, P7Benchmarks)
 }
 
 // fig2Subset computes the Fig. 2 statistics over a benchmark subset.
-func fig2Subset(m *Matrix, benches []string) Fig2Result {
+func fig2Subset(ctx context.Context, m *Matrix, benches []string) Fig2Result {
 	var r Fig2Result
 	var sp, l1, cpi, br, vsu []float64
 	for _, b := range benches {
-		c := m.Cell(b, 1)
+		c := m.Cell(ctx, b, 1)
 		if c.Err != nil {
 			continue
 		}
@@ -235,7 +238,7 @@ func fig2Subset(m *Matrix, benches []string) Fig2Result {
 			CPI:      c.Snap.CPI(),
 			BrMPKI:   c.Snap.BranchMPKI(),
 			VSUShare: 100 * c.Snap.ClassFraction(isa.FPVec, isa.FPDiv),
-			Speedup:  m.Speedup(b, 4, 1),
+			Speedup:  m.Speedup(ctx, b, 4, 1),
 		}
 		r.Rows = append(r.Rows, row)
 		sp = append(sp, row.Speedup)
@@ -245,7 +248,9 @@ func fig2Subset(m *Matrix, benches []string) Fig2Result {
 		vsu = append(vsu, row.VSUShare)
 	}
 	for i, xs := range [][]float64{l1, cpi, br, vsu} {
-		r.Correlations[i], _ = stats.Pearson(xs, sp)
+		if rho, err := stats.Pearson(xs, sp); err == nil {
+			r.Correlations[i] = rho
+		}
 	}
 	return r
 }
@@ -260,16 +265,16 @@ type Fig7Row struct {
 // Fig7 reproduces Fig. 7: the instruction mixes of five representative
 // benchmarks, ordered by decreasing SMT4/SMT1 speedup, against the ideal
 // POWER7 SMT mix.
-func Fig7(m *Matrix) []Fig7Row {
-	return Fig7Of(m, Fig7Benchmarks)
+func Fig7(ctx context.Context, m *Matrix) []Fig7Row {
+	return Fig7Of(ctx, m, Fig7Benchmarks)
 }
 
 // Fig7Of computes the Fig. 7 instruction-mix rows over an explicit
 // benchmark set, appending the ideal-mix reference bar.
-func Fig7Of(m *Matrix, benches []string) []Fig7Row {
+func Fig7Of(ctx context.Context, m *Matrix, benches []string) []Fig7Row {
 	var rows []Fig7Row
 	for _, b := range benches {
-		c := m.Cell(b, 4)
+		c := m.Cell(ctx, b, 4)
 		if c.Err != nil {
 			continue
 		}
@@ -280,7 +285,7 @@ func Fig7Of(m *Matrix, benches []string) []Fig7Row {
 			Branches: 100 * c.Snap.ClassFraction(isa.Branch),
 			FXU:      100 * c.Snap.ClassFraction(isa.Int, isa.IntMul),
 			VSU:      100 * c.Snap.ClassFraction(isa.FPVec, isa.FPDiv),
-			Speedup:  m.Speedup(b, 4, 1),
+			Speedup:  m.Speedup(ctx, b, 4, 1),
 		})
 	}
 	// The ideal POWER7 SMT mix, as the paper's right-most bar.
@@ -294,39 +299,39 @@ func Fig7Of(m *Matrix, benches []string) []Fig7Row {
 
 // Fig16 reproduces Fig. 16: the Gini-impurity curve over candidate
 // separators for the Fig. 6 data.
-func Fig16(m *Matrix) (threshold.GiniResult, error) {
-	return threshold.GiniSearch(figPoints(Fig6(m)))
+func Fig16(ctx context.Context, m *Matrix) (threshold.GiniResult, error) {
+	return threshold.GiniSearch(figPoints(Fig6(ctx, m)))
 }
 
 // Fig17 reproduces Fig. 17: the average-PPI curve over candidate thresholds
 // for the Fig. 6 data.
-func Fig17(m *Matrix) (threshold.PPIResult, error) {
-	return threshold.PPISearch(figPoints(Fig6(m)))
+func Fig17(ctx context.Context, m *Matrix) (threshold.PPIResult, error) {
+	return threshold.PPISearch(figPoints(Fig6(ctx, m)))
 }
 
 // Figure computes the dataset behind one of the metric-vs-speedup scatter
 // figures by number ("6", "8"-"15"). Special-format figures (1, 2, 7, 16,
 // 17) have their own dataset types and are not dispatched here.
-func Figure(fig string, m *Matrix) (FigResult, error) {
+func Figure(ctx context.Context, fig string, m *Matrix) (FigResult, error) {
 	switch fig {
 	case "6":
-		return Fig6(m), nil
+		return Fig6(ctx, m), nil
 	case "8":
-		return Fig8(m), nil
+		return Fig8(ctx, m), nil
 	case "9":
-		return Fig9(m), nil
+		return Fig9(ctx, m), nil
 	case "10":
-		return Fig10(m), nil
+		return Fig10(ctx, m), nil
 	case "11":
-		return Fig11(m), nil
+		return Fig11(ctx, m), nil
 	case "12":
-		return Fig12(m), nil
+		return Fig12(ctx, m), nil
 	case "13":
-		return Fig13(m), nil
+		return Fig13(ctx, m), nil
 	case "14":
-		return Fig14(m), nil
+		return Fig14(ctx, m), nil
 	case "15":
-		return Fig15(m), nil
+		return Fig15(ctx, m), nil
 	default:
 		return FigResult{}, fmt.Errorf("experiments: no scatter figure %q", fig)
 	}

@@ -68,12 +68,12 @@ func TestGoldenFigures(t *testing.T) {
 	t.Logf("campaign: %d cells, %.1fs wall, %.1fs serial-equivalent (%.1fx, %d workers)",
 		stats.Cells, stats.Elapsed.Seconds(), stats.CellTime.Seconds(), stats.Speedup(), stats.Workers)
 
-	golden.Assert(t, "fig1", Fig1(p7))
-	golden.Assert(t, "fig2", fig2Subset(p7, goldenP7))
-	golden.Assert(t, "fig7", Fig7Of(p7, goldenFig7))
+	golden.Assert(t, "fig1", Fig1(context.Background(), p7))
+	golden.Assert(t, "fig2", fig2Subset(context.Background(), p7, goldenP7))
+	golden.Assert(t, "fig7", Fig7Of(context.Background(), p7, goldenFig7))
 
 	// The scatter figures, each with its paper axes on its golden subset.
-	fig6 := scatter(p7, "fig6", "golden subset of Fig. 6", goldenP7, 4, 4, 1)
+	fig6 := scatter(context.Background(), p7, "fig6", "golden subset of Fig. 6", goldenP7, 4, 4, 1)
 	golden.Assert(t, "fig6", fig6)
 	for _, f := range []struct {
 		name       string
@@ -90,7 +90,7 @@ func TestGoldenFigures(t *testing.T) {
 		{"fig14", x2, goldenX2, 4, 4, 2},
 		{"fig15", x2, goldenX2, 2, 2, 1},
 	} {
-		golden.Assert(t, f.name, scatter(f.m, f.name, "golden subset of Fig. "+f.name[3:], f.benches, f.at, f.hi, f.lo))
+		golden.Assert(t, f.name, scatter(context.Background(), f.m, f.name, "golden subset of Fig. "+f.name[3:], f.benches, f.at, f.hi, f.lo))
 	}
 
 	// Figs. 16-17: the threshold-search curves over the Fig. 6 points.
@@ -106,5 +106,5 @@ func TestGoldenFigures(t *testing.T) {
 	}
 
 	// The ablation table rides on the already-computed P7 cells.
-	golden.Assert(t, "ablation", AblationStudy(p7, goldenP7, 4, 1))
+	golden.Assert(t, "ablation", AblationStudy(context.Background(), p7, goldenP7, 4, 1))
 }

@@ -1,6 +1,10 @@
 package experiments
 
-import "repro/internal/arch"
+import (
+	"context"
+
+	"repro/internal/arch"
+)
 
 // SMT8OneChip is the forward-looking 8-way-SMT system (the paper's
 // future-work direction: "test the metric on other architectures").
@@ -30,11 +34,11 @@ type PortabilityResult struct {
 // measure at the deepest level, Gini-select a threshold — should separate
 // SMT8-preferring from SMT1-preferring workloads without any
 // architecture-specific tuning beyond the ideal-mix description.
-func Portability(m *Matrix) PortabilityResult {
+func Portability(ctx context.Context, m *Matrix) PortabilityResult {
 	return PortabilityResult{
-		Smt8VsSmt1: scatter(m, "smt8v1", "SMT8/SMT1 speedup vs metric @SMT8 (GenericSMT8)",
+		Smt8VsSmt1: scatter(ctx, m, "smt8v1", "SMT8/SMT1 speedup vs metric @SMT8 (GenericSMT8)",
 			PortabilityBenchmarks, 8, 8, 1),
-		Smt8VsSmt4: scatter(m, "smt8v4", "SMT8/SMT4 speedup vs metric @SMT8 (GenericSMT8)",
+		Smt8VsSmt4: scatter(ctx, m, "smt8v4", "SMT8/SMT4 speedup vs metric @SMT8 (GenericSMT8)",
 			PortabilityBenchmarks, 8, 8, 4),
 	}
 }

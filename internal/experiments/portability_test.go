@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestSMT8SystemValid(t *testing.T) {
 	d := SMT8OneChip.Arch()
@@ -27,7 +30,7 @@ func TestPortabilityStudy(t *testing.T) {
 	skipHeavySim(t)
 	m := NewMatrix(SMT8OneChip, DefaultSeed)
 	// A reduced set keeps this test to tens of seconds.
-	res := scatter(m, "smt8-subset", "subset",
+	res := scatter(context.Background(), m, "smt8-subset", "subset",
 		[]string{"EP", "Blackscholes", "Stream", "SPECjbb_contention", "SSCA2", "Swim"}, 8, 8, 1)
 	if len(res.Points) != 6 {
 		t.Fatalf("%d points, want 6", len(res.Points))

@@ -90,6 +90,28 @@ type Runner struct {
 	// observe several sweeps); consumers should stop receiving after Sweep
 	// returns.
 	Events chan<- Event
+	// Now is the clock behind the timing fields (Stats.Elapsed,
+	// Stats.CellTime, Event.Elapsed). Simulated results never depend on it —
+	// this package is wall-clock-free by contract (detlint) — so it is nil
+	// in library use and the timing fields stay zero; CLIs that want
+	// progress timing inject time.Now.
+	Now func() time.Time
+}
+
+// now reads the injected clock; the zero time when none is configured.
+func (r *Runner) now() time.Time {
+	if r.Now == nil {
+		return time.Time{}
+	}
+	return r.Now()
+}
+
+// since measures elapsed time against the injected clock; 0 without one.
+func (r *Runner) since(t0 time.Time) time.Duration {
+	if r.Now == nil {
+		return 0
+	}
+	return r.Now().Sub(t0)
 }
 
 // SweepSpec names one system's slice of a multi-system campaign.
@@ -143,7 +165,7 @@ func (r *Runner) Campaign(ctx context.Context, specs []SweepSpec) (Stats, error)
 	if len(queue) == 0 {
 		return stats, ctx.Err()
 	}
-	start := time.Now()
+	start := r.now()
 
 	jobs := make(chan job)
 	var wg sync.WaitGroup
@@ -174,7 +196,7 @@ dispatch:
 	wg.Wait()
 
 	stats.Skipped = len(queue) - stats.Cells
-	stats.Elapsed = time.Since(start)
+	stats.Elapsed = r.since(start)
 	return stats, ctx.Err()
 }
 
@@ -187,10 +209,10 @@ func (r *Runner) runCell(ctx context.Context, j job, total int, mu *sync.Mutex, 
 		cctx, cancel = context.WithTimeout(ctx, r.CellTimeout)
 		defer cancel()
 	}
-	t0 := time.Now()
+	t0 := r.now()
 	cached := j.m.peek(j.ref.Bench, j.ref.SMT)
-	c := j.m.CellCtx(cctx, j.ref.Bench, j.ref.SMT)
-	elapsed := time.Since(t0)
+	c := j.m.Cell(cctx, j.ref.Bench, j.ref.SMT)
+	elapsed := r.since(t0)
 
 	err := c.Err
 	if err != nil && errors.Is(err, cpu.ErrCanceled) {

@@ -91,11 +91,11 @@ func TestSweepErrorIsolation(t *testing.T) {
 			t.Errorf("event %+v: bad Seq/Total", ev)
 		}
 	}
-	if c := m.Cell("NoSuchBenchmark", 1); c.Err == nil {
+	if c := m.Cell(context.Background(), "NoSuchBenchmark", 1); c.Err == nil {
 		t.Error("unknown benchmark did not record an error")
 	}
 	for _, b := range []string{"MG", "Swim"} {
-		if c := m.Cell(b, 1); c.Err != nil || c.Wall <= 0 {
+		if c := m.Cell(context.Background(), b, 1); c.Err != nil || c.Wall <= 0 {
 			t.Errorf("%s poisoned by sibling failure: %+v", b, c)
 		}
 	}
@@ -142,7 +142,7 @@ func TestSweepCancellation(t *testing.T) {
 	}
 	// Interrupted/skipped cells retry cleanly with a live context.
 	for _, b := range benches {
-		if c := m.Cell(b, 1); c.Err != nil || c.Wall <= 0 {
+		if c := m.Cell(context.Background(), b, 1); c.Err != nil || c.Wall <= 0 {
 			t.Errorf("%s@1 did not recover after cancellation: %+v", b, c)
 		}
 	}
@@ -173,7 +173,7 @@ func TestSweepCellTimeout(t *testing.T) {
 	}
 	// With no budget the same cell completes and caches.
 	r.CellTimeout = 0
-	if c := m.Cell("MG", 1); c.Err != nil || c.Wall <= 0 {
+	if c := m.Cell(context.Background(), "MG", 1); c.Err != nil || c.Wall <= 0 {
 		t.Fatalf("MG@1 did not recover after timeout: %+v", c)
 	}
 }
@@ -187,7 +187,7 @@ func TestSweepSharesInFlightCells(t *testing.T) {
 	m := NewMatrix(P7OneChip, DefaultSeed)
 	results := make(chan *Cell, 8)
 	for i := 0; i < 8; i++ {
-		go func() { results <- m.Cell("MG", 1) }()
+		go func() { results <- m.Cell(context.Background(), "MG", 1) }()
 	}
 	first := <-results
 	for i := 1; i < 8; i++ {
@@ -222,34 +222,33 @@ func TestEventsChannel(t *testing.T) {
 	}
 }
 
-// TestCellPolicy pins the render-path contract behind cmd/experiments'
-// Ctrl-C handling: once the policy context is canceled, Matrix.Cell must
+// TestCellContext pins the render-path contract behind cmd/experiments'
+// Ctrl-C handling: once the caller's context is canceled, Matrix.Cell must
 // report missing cells as failed instead of launching new simulations, while
 // already-computed cells stay readable.
-func TestCellPolicy(t *testing.T) {
+func TestCellContext(t *testing.T) {
 	m := NewMatrix(P7OneChip, DefaultSeed)
 	ctx, cancel := context.WithCancel(context.Background())
-	m.SetCellPolicy(ctx, 0)
 
-	if c := m.Cell("MG", 1); c.Err != nil {
-		t.Fatalf("live policy context: Cell failed: %v", c.Err)
+	if c := m.Cell(ctx, "MG", 1); c.Err != nil {
+		t.Fatalf("live context: Cell failed: %v", c.Err)
 	}
 	cancel()
 	start := time.Now()
-	if c := m.Cell("Swim", 1); !errors.Is(c.Err, context.Canceled) {
-		t.Fatalf("canceled policy context: Err = %v, want context.Canceled", c.Err)
+	if c := m.Cell(ctx, "Swim", 1); !errors.Is(c.Err, context.Canceled) {
+		t.Fatalf("canceled context: Err = %v, want context.Canceled", c.Err)
 	} else if d := time.Since(start); d > time.Second {
 		t.Fatalf("canceled Cell took %v, want immediate return", d)
 	}
-	if c := m.Cell("MG", 1); c.Err != nil {
+	if c := m.Cell(ctx, "MG", 1); c.Err != nil {
 		t.Fatalf("cached cell must survive cancellation, got Err %v", c.Err)
 	}
 
 	// A per-cell budget on the render path behaves like the pool's: the
 	// cell fails with DeadlineExceeded and is not cached.
 	m2 := NewMatrix(P7OneChip, DefaultSeed)
-	m2.SetCellPolicy(context.Background(), time.Millisecond)
-	if c := m2.Cell("MG", 1); !errors.Is(c.Err, context.DeadlineExceeded) {
+	m2.CellBudget = time.Millisecond
+	if c := m2.Cell(context.Background(), "MG", 1); !errors.Is(c.Err, context.DeadlineExceeded) {
 		t.Fatalf("1ms budget: Err = %v, want context.DeadlineExceeded", c.Err)
 	}
 	if got := len(m2.Cached()); got != 0 {

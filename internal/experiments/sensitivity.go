@@ -62,8 +62,9 @@ type SensitivityRow struct {
 // Sensitivity runs the Fig. 6 methodology per architecture variant; with no
 // explicit variants it runs the default set. The variants' matrices fill
 // through one shared worker pool, so the study parallelises across variants
-// as well as across cells.
-func Sensitivity(seed uint64, variants ...SensitivityVariant) []SensitivityRow {
+// as well as across cells. A canceled ctx cuts the campaign short and is
+// returned alongside the rows computed from whatever cells completed.
+func Sensitivity(ctx context.Context, seed uint64, variants ...SensitivityVariant) ([]SensitivityRow, error) {
 	if len(variants) == 0 {
 		variants = SensitivityVariants
 	}
@@ -94,7 +95,7 @@ func Sensitivity(seed uint64, variants ...SensitivityVariant) []SensitivityRow {
 		specs = append(specs, SweepSpec{Matrix: m, Benches: SensitivityBenchmarks, SMTs: []int{1, 4}})
 	}
 	r := Runner{}
-	r.Campaign(context.Background(), specs)
+	_, err := r.Campaign(ctx, specs)
 
 	var rows []SensitivityRow
 	for _, e := range entries {
@@ -102,7 +103,7 @@ func Sensitivity(seed uint64, variants ...SensitivityVariant) []SensitivityRow {
 			rows = append(rows, SensitivityRow{Variant: e.v.Name + " (invalid: " + e.invalid.Error() + ")"})
 			continue
 		}
-		res := scatter(e.m, "sens", e.v.Name, SensitivityBenchmarks, 4, 4, 1)
+		res := scatter(ctx, e.m, "sens", e.v.Name, SensitivityBenchmarks, 4, 4, 1)
 		rows = append(rows, SensitivityRow{
 			Variant:   e.v.Name,
 			Threshold: res.Threshold,
@@ -111,5 +112,5 @@ func Sensitivity(seed uint64, variants ...SensitivityVariant) []SensitivityRow {
 			Separable: res.AmbiguousLo > res.AmbiguousHi,
 		})
 	}
-	return rows
+	return rows, err
 }

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Ctxlint enforces the cancellation-plumbing contract: context flows
+// through parameters, first, always — never through struct fields, and
+// never minted fresh inside library code.
+var Ctxlint = &Analyzer{
+	Name: "ctxlint",
+	Doc:  "context.Context first parameter, never in struct fields, Background/TODO only in cmd/* and tests",
+	Run:  runCtxlint,
+}
+
+// isCtxType recognises context.Context as a type expression given the
+// file's imports (honouring renamed imports of the context package).
+func isCtxType(imports map[string]string, t ast.Expr) bool {
+	sel, ok := deref(t).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Obj != nil {
+		return false
+	}
+	return imports[id.Name] == "context"
+}
+
+func runCtxlint(p *Pass) {
+	inCmd := p.Pkg.Rel == "cmd" || strings.HasPrefix(p.Pkg.Rel, "cmd/") ||
+		strings.HasPrefix(p.Pkg.Rel, "scripts/") || strings.HasPrefix(p.Pkg.Rel, "examples/")
+	for _, f := range p.Pkg.Files {
+		imports := fileImports(f.AST)
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if isCtxType(imports, field.Type) {
+						p.Reportf(field.Pos(), "context.Context stored in struct field: pass it as a parameter so cancellation scope stays explicit")
+					}
+				}
+			case *ast.FuncType:
+				checkCtxFirst(p, imports, n)
+			case *ast.CallExpr:
+				if path, fn, ok := pkgFuncCall(imports, n); ok && path == "context" &&
+					(fn == "Background" || fn == "TODO") &&
+					!inCmd && !f.Test {
+					p.Reportf(n.Pos(), "context.%s in library code: accept a ctx parameter instead of minting a root context", fn)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxFirst flags any function signature where a context.Context
+// parameter is not the first parameter.
+func checkCtxFirst(p *Pass, imports map[string]string, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtxType(imports, field.Type) && pos != 0 {
+			p.Reportf(field.Pos(), "context.Context is parameter %d: it must come first", pos+1)
+		}
+		pos += n
+	}
+}

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// detScope lists the packages whose results feed the golden-artifact gate
+// or the recommendation cache; inside them, nondeterminism is a
+// correctness bug, not a style issue.
+var detScope = []string{
+	"internal/cpu", "internal/sched", "internal/experiments", "internal/golden",
+	"internal/smtsm", "internal/threshold", "internal/stats", "internal/report",
+}
+
+// globalRandFuncs are the math/rand (and math/rand/v2) top-level functions
+// that read the shared global source. Constructors like rand.New and the
+// types they return are fine — they are how deterministic seeding works.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "Int64": true, "Int64N": true, "Int32": true, "Int32N": true,
+	"IntN": true, "Uint32": true, "Uint64": true, "Uint64N": true, "UintN": true,
+	"Uint": true, "Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	"N": true,
+}
+
+// Detlint enforces the determinism contract: simulated results must be a
+// pure function of (workload, config, seed).
+var Detlint = &Analyzer{
+	Name: "detlint",
+	Doc:  "forbid wall-clock time, global math/rand, and order-dependent map iteration in deterministic packages",
+	Run:  runDetlint,
+}
+
+func inDetScope(rel string) bool {
+	for _, s := range detScope {
+		if rel == s || strings.HasPrefix(rel, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runDetlint(p *Pass) {
+	if !inDetScope(p.Pkg.Rel) {
+		return
+	}
+	idx := indexPkgTypes(p.Pkg)
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue // tests may time themselves; they do not produce results
+		}
+		imports := fileImports(f.AST)
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				path, fn, ok := pkgFuncCall(imports, n)
+				if !ok {
+					return true
+				}
+				if path == "time" && (fn == "Now" || fn == "Since") {
+					p.Reportf(n.Pos(), "time.%s in deterministic package %s: results must not depend on wall-clock time", fn, p.Pkg.Rel)
+				}
+				if (path == "math/rand" || path == "math/rand/v2") && globalRandFuncs[fn] {
+					p.Reportf(n.Pos(), "global rand.%s in deterministic package %s: use a seeded *rand.Rand (internal/xrand)", fn, p.Pkg.Rel)
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(p, idx, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRanges flags `for k := range m` loops over maps whose bodies
+// feed order-sensitive sinks (append, slice/index writes, or encode/write
+// calls). The one sanctioned shape is exempt: a loop that only collects
+// the keys into a slice that the same function later sorts.
+func checkMapRanges(p *Pass, idx *pkgTypes, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !idx.exprIsMap(rng.X) {
+			return true
+		}
+		sink := orderSensitiveSink(rng.Body)
+		if sink == "" {
+			return true
+		}
+		if isSortedKeysIdiom(fn, rng) {
+			return true
+		}
+		p.Reportf(rng.Pos(), "range over map %s feeds %s: map iteration order is random, sort the keys first", exprString(rng.X), sink)
+		return true
+	})
+	// (suppressions are checked by Reportf)
+}
+
+// orderSensitiveSink scans a range body for statements whose effect
+// depends on iteration order and names the first one found.
+func orderSensitiveSink(body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && id.Obj == nil {
+				sink = "append"
+				return false
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				if name == "Write" || name == "WriteString" || name == "WriteByte" ||
+					name == "Encode" || name == "Fprintf" || name == "Fprintln" || name == "Fprint" {
+					sink = sel.Sel.Name + " call"
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if _, ok := lhs.(*ast.IndexExpr); ok {
+					sink = "indexed write"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// isSortedKeysIdiom recognises the canonical fix
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys) // or slices.Sort / sort.Slice, later in the function
+//
+// the body must be exactly one append of the range key, and the same
+// function must later pass the destination slice to a sort.
+func isSortedKeysIdiom(fn *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+		return false
+	}
+	dest, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok || arg.Name != key.Name {
+		return false
+	}
+	// Look for a later sort.*(dest...) / slices.Sort(dest) call.
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Obj != nil || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, a := range call.Args {
+			if id, ok := a.(*ast.Ident); ok && id.Name == dest.Name {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// mustCheckMethods are method names whose error results this repo never
+// ignores outside a defer: they close resources or commit buffered output,
+// and a swallowed failure there corrupts artifacts silently.
+var mustCheckMethods = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true, "Encode": true,
+	"Shutdown": true, "Campaign": true, "Sweep": true,
+}
+
+// mustCheckOsFuncs are os package calls whose error result is the entire
+// point of the call.
+var mustCheckOsFuncs = map[string]bool{
+	"Remove": true, "RemoveAll": true, "WriteFile": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "Setenv": true, "Chdir": true,
+}
+
+// Errlint flags discarded error results: bare expression-statement calls
+// to must-check functions, and `_`-assignments that throw an error away.
+var Errlint = &Analyzer{
+	Name: "errlint",
+	Doc:  "no discarded error results via bare calls or blank assignment outside tests",
+	Run:  runErrlint,
+}
+
+func runErrlint(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue // tests discard errors on purpose when provoking failures
+		}
+		imports := fileImports(f.AST)
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if path, fn, ok := pkgFuncCall(imports, call); ok {
+					if path == "os" && mustCheckOsFuncs[fn] {
+						p.Reportf(n.Pos(), "os.%s result discarded: the error is the point of the call", fn)
+					}
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && mustCheckMethods[sel.Sel.Name] {
+					p.Reportf(n.Pos(), "%s result discarded: check the error (a defer is exempt)", exprString(call.Fun))
+				}
+			case *ast.AssignStmt:
+				checkBlankAssign(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankAssign flags `_ = f()` and `x, _ := f()` where the blank is
+// the last result of a single call — the conventional error position.
+// Multi-value positions like `v, _ := m[k]` have no call and are fine.
+func checkBlankAssign(p *Pass, n *ast.AssignStmt) {
+	if len(n.Rhs) != 1 {
+		return
+	}
+	call, ok := n.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	last, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	// `_ = append(...)` and conversions are not error discards.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Obj == nil {
+		switch id.Name {
+		case "append", "copy", "len", "cap", "make", "new", "recover",
+			"min", "max", "int", "int64", "uint64", "float64", "string", "byte":
+			return
+		}
+	}
+	p.Reportf(last.Pos(), "error discarded with blank identifier: handle it or suppress with a reason")
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Exitlint polices hard process exits. os.Exit and log.Fatal* skip every
+// pending defer — in a cmd that means lost flushes and leaked child
+// state, in a library it hijacks the caller's process entirely.
+var Exitlint = &Analyzer{
+	Name: "exitlint",
+	Doc:  "no os.Exit/log.Fatal after a pending defer in cmd/*, none at all in internal/*",
+	Run:  runExitlint,
+}
+
+func isExitCall(imports map[string]string, call *ast.CallExpr) (string, bool) {
+	path, fn, ok := pkgFuncCall(imports, call)
+	if !ok {
+		return "", false
+	}
+	if path == "os" && fn == "Exit" {
+		return "os.Exit", true
+	}
+	if path == "log" && (fn == "Fatal" || fn == "Fatalf" || fn == "Fatalln") {
+		return "log." + fn, true
+	}
+	return "", false
+}
+
+func runExitlint(p *Pass) {
+	inCmd := strings.HasPrefix(p.Pkg.Rel, "cmd/") || strings.HasPrefix(p.Pkg.Rel, "scripts/") ||
+		strings.HasPrefix(p.Pkg.Rel, "examples/")
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue // go test owns the process; t.Fatal is the tool there
+		}
+		imports := fileImports(f.AST)
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if inCmd {
+				checkExitAfterDefer(p, imports, fn)
+			} else {
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if name, ok := isExitCall(imports, call); ok {
+							p.Reportf(call.Pos(), "%s in library package %s: return an error and let the caller decide", name, p.Pkg.Rel)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// checkExitAfterDefer flags exit calls lexically after a defer statement
+// in the same function: when they run, that defer is pending and will be
+// skipped. Exits before any defer are the normal flag-validation pattern
+// and stay legal.
+func checkExitAfterDefer(p *Pass, imports map[string]string, fn *ast.FuncDecl) {
+	var firstDefer token.Pos = token.NoPos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested closure has its own defer stack
+		case *ast.DeferStmt:
+			if firstDefer == token.NoPos || n.Pos() < firstDefer {
+				firstDefer = n.Pos()
+			}
+		}
+		return true
+	})
+	if firstDefer == token.NoPos {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= firstDefer {
+			return true
+		}
+		if name, ok := isExitCall(imports, call); ok {
+			p.Reportf(call.Pos(), "%s after a pending defer in %s: the defer is skipped — restructure so cleanup runs", name, fn.Name.Name)
+		}
+		return true
+	})
+}

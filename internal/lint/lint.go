@@ -1,0 +1,192 @@
+// Package lint is a small static-analysis framework on the standard
+// library's go/parser, go/ast and go/token — no golang.org/x/tools
+// dependency. It exists to machine-check the two invariants this
+// repository's correctness story stands on and the compiler cannot see:
+//
+//   - bit-determinism of simulated results (the golden-artifact gate and
+//     the recommendation cache both break silently if wall-clock time,
+//     global math/rand state, or map iteration order leaks into a result
+//     path), and
+//   - end-to-end context plumbing (deadline and drain guarantees only hold
+//     if cancellation flows through every layer instead of being swallowed
+//     by a stored or background context).
+//
+// The framework loads every package under the module, runs registered
+// analyzers over the syntax trees, and emits diagnostics as
+// "file:line:col: analyzer: message" text or JSON. A finding can be
+// suppressed at the line that triggers it (or the line above) with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// where the reason is mandatory: every suppression documents why the
+// contract does not apply at that site. See cmd/smtlint for the CLI and
+// DESIGN.md for the contracts each analyzer encodes.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one analyzer finding, positioned in module-relative
+// file coordinates.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the diagnostic in the classic file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// An Analyzer checks one contract over a package's syntax trees.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-line description of the contract the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+
+	analyzer *Analyzer
+	sink     *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a //lint:ignore directive for
+// this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, f := range p.Pkg.Files {
+		if f.Path == position.Filename && f.suppressed(p.analyzer.Name, position.Line) {
+			return
+		}
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	line     int
+	analyzer string
+	reason   string
+}
+
+// suppressed reports whether a finding by analyzer on the given line is
+// covered by a directive on the same line or the line directly above it
+// (a directive comment placed above the offending statement).
+func (f *File) suppressed(analyzer string, line int) bool {
+	for _, d := range f.ignores {
+		if d.analyzer != analyzer {
+			continue
+		}
+		if d.line == line || d.line == line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// parseIgnores extracts //lint:ignore directives from a parsed file.
+// Malformed directives (missing analyzer or reason) are returned
+// separately so the runner can surface them as findings of their own —
+// a suppression that silently fails to parse would otherwise hide the
+// very diagnostics it appears to acknowledge.
+func parseIgnores(fset *token.FileSet, astFile *ast.File) (ok []ignoreDirective, malformed []token.Pos) {
+	for _, cg := range astFile.Comments {
+		for _, c := range cg.List {
+			text, found := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !found {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				malformed = append(malformed, c.Pos())
+				continue
+			}
+			ok = append(ok, ignoreDirective{
+				line:     fset.Position(c.Pos()).Line,
+				analyzer: fields[0],
+				reason:   strings.Join(fields[1:], " "),
+			})
+		}
+	}
+	return ok, malformed
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics sorted by file, line, column and analyzer. Directives naming
+// an unregistered analyzer, and directives too malformed to parse, are
+// reported under the pseudo-analyzer "lint".
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, pos := range f.malformed {
+				position := fset.Position(pos)
+				diags = append(diags, Diagnostic{
+					File: position.Filename, Line: position.Line, Col: position.Column,
+					Analyzer: "lint",
+					Message:  "malformed directive: want //lint:ignore <analyzer> <reason>",
+				})
+			}
+			for _, d := range f.ignores {
+				if !known[d.analyzer] && d.analyzer != "lint" {
+					diags = append(diags, Diagnostic{
+						File: f.Path, Line: d.line, Col: 1,
+						Analyzer: "lint",
+						Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", d.analyzer),
+					})
+				}
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Fset: fset, Pkg: pkg, analyzer: a, sink: &diags}
+			a.Run(pass)
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// All returns the full analyzer suite in registration order.
+func All() []*Analyzer {
+	return []*Analyzer{Detlint, Ctxlint, Printlint, Errlint, Exitlint}
+}

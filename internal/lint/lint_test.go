@@ -1,0 +1,260 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// A want is one expected diagnostic, parsed from a fixture comment of the
+// form `// want <analyzer> "<message substring>"` on the offending line.
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+}
+
+var wantRE = regexp.MustCompile(`// want (\w+) "([^"]+)"`)
+
+// parseWants scans the fixture sources in dir for expected-diagnostic
+// comments, positioning them under the virtual paths LoadDir assigns.
+func parseWants(t *testing.T, dir, rel string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		virtual := e.Name()
+		if rel != "." {
+			virtual = rel + "/" + e.Name()
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				wants = append(wants, want{file: virtual, line: i + 1, analyzer: m[1], substr: m[2]})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads one testdata directory as if it lived at the
+// module-relative path rel and runs the given analyzers over it.
+func runFixture(t *testing.T, dir, rel string, analyzers ...*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg, err := lint.LoadDir(fset, dir, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.Run(fset, []*lint.Package{pkg}, analyzers)
+}
+
+// checkFixture runs the analyzer over a fixture directory and demands an
+// exact match between the diagnostics and the `// want` comments: every
+// want satisfied, no finding unaccounted for.
+func checkFixture(t *testing.T, dir, rel string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	diags := runFixture(t, dir, rel, analyzers...)
+	wants := parseWants(t, dir, rel)
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if !matched[i] && d.File == w.file && d.Line == w.line &&
+				d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: missing diagnostic: want %s %q", w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+func TestDetlint(t *testing.T) {
+	checkFixture(t, "testdata/detlint", "internal/cpu", lint.Detlint)
+}
+
+// TestDetlintScope: the same sources outside the deterministic packages
+// produce nothing — the contract is scoped, not global.
+func TestDetlintScope(t *testing.T) {
+	if diags := runFixture(t, "testdata/detlint", "internal/workload", lint.Detlint); len(diags) != 0 {
+		t.Errorf("detlint fired outside its scope: %v", diags)
+	}
+}
+
+func TestCtxlint(t *testing.T) {
+	checkFixture(t, "testdata/ctxlint", "internal/server", lint.Ctxlint)
+}
+
+// TestCtxlintCmdScope: minting a root context in a main package is legal.
+func TestCtxlintCmdScope(t *testing.T) {
+	if diags := runFixture(t, "testdata/ctxcmd", "cmd/tool", lint.Ctxlint); len(diags) != 0 {
+		t.Errorf("ctxlint flagged command-scope code: %v", diags)
+	}
+}
+
+func TestPrintlint(t *testing.T) {
+	checkFixture(t, "testdata/printlint", "internal/report", lint.Printlint)
+}
+
+// TestPrintlintScope: the same prints are legal in a cmd package, where
+// stdout is the program's output channel.
+func TestPrintlintScope(t *testing.T) {
+	if diags := runFixture(t, "testdata/printlint", "cmd/tool", lint.Printlint); len(diags) != 0 {
+		t.Errorf("printlint fired outside internal/*: %v", diags)
+	}
+}
+
+func TestErrlint(t *testing.T) {
+	checkFixture(t, "testdata/errlint", "internal/trace", lint.Errlint)
+}
+
+func TestExitlintLibrary(t *testing.T) {
+	checkFixture(t, "testdata/exitlint_lib", "internal/util", lint.Exitlint)
+}
+
+func TestExitlintCmd(t *testing.T) {
+	checkFixture(t, "testdata/exitlint_cmd", "cmd/tool", lint.Exitlint)
+}
+
+// TestSuppression pins the //lint:ignore machinery on testdata/suppress:
+// valid directives (same line and line above) silence the finding, a
+// directive naming an unknown analyzer suppresses nothing and is itself
+// reported, and a reason-less directive is reported as malformed.
+func TestSuppression(t *testing.T) {
+	diags := runFixture(t, "testdata/suppress", "internal/cpu", lint.All()...)
+
+	type key struct {
+		analyzer string
+		substr   string
+	}
+	wantCounts := map[key]int{
+		{"lint", "unknown analyzer"}:    1, // the speedlint directive
+		{"lint", "malformed directive"}: 1, // the reason-less directive
+		{"detlint", "time.Now"}:         2, // Wrong (unsuppressed) + Short (malformed directive)
+		{"detlint", "time.Since"}:       1, // Wrong only; Calibrate is suppressed
+	}
+	got := map[key]int{}
+	for _, d := range diags {
+		for k := range wantCounts {
+			if d.Analyzer == k.analyzer && strings.Contains(d.Message, k.substr) {
+				got[k]++
+			}
+		}
+	}
+	for k, n := range wantCounts {
+		if got[k] != n {
+			t.Errorf("%s %q: got %d diagnostics, want %d", k.analyzer, k.substr, got[k], n)
+		}
+	}
+	if want := 5; len(diags) != want {
+		t.Errorf("total diagnostics = %d, want %d:", len(diags), want)
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+}
+
+// TestDiagnosticString pins the file:line:col output format editors and CI
+// log scrapers rely on.
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{File: "internal/cpu/machine.go", Line: 12, Col: 3,
+		Analyzer: "detlint", Message: "boom"}
+	if got, want := d.String(), "internal/cpu/machine.go:12:3: detlint: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestAnalyzersHaveDocs: every registered analyzer carries the metadata the
+// CLI's -list output prints.
+func TestAnalyzersHaveDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range lint.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestModuleIsClean is the in-process form of the CI gate: the repository's
+// own tree must lint clean, so a regression fails `go test` even before the
+// smtlint CI step runs.
+func TestModuleIsClean(t *testing.T) {
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, fset, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(fset, pkgs, lint.All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Log("fix the findings or suppress them with //lint:ignore <analyzer> <reason>")
+	}
+}
+
+// TestLoadDirVirtualPaths: fixtures must surface under the rel path the
+// test assigns, or scoped analyzers would see the wrong package identity.
+func TestLoadDirVirtualPaths(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg, err := lint.LoadDir(fset, "testdata/detlint", "internal/cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Rel != "internal/cpu" {
+		t.Errorf("pkg.Rel = %q, want internal/cpu", pkg.Rel)
+	}
+	var haveTest bool
+	for _, f := range pkg.Files {
+		if !strings.HasPrefix(f.Path, "internal/cpu/") {
+			t.Errorf("file path %q not under the virtual rel", f.Path)
+		}
+		if f.Test {
+			haveTest = true
+		}
+	}
+	if !haveTest {
+		t.Error("det_test.go not recognised as a test file")
+	}
+}
+
+// ExampleDiagnostic shows the rendered diagnostic form.
+func ExampleDiagnostic() {
+	d := lint.Diagnostic{File: "internal/smtsm/metric.go", Line: 40, Col: 9,
+		Analyzer: "detlint", Message: "time.Now in deterministic package internal/smtsm: results must not depend on wall-clock time"}
+	fmt.Println(d)
+	// Output: internal/smtsm/metric.go:40:9: detlint: time.Now in deterministic package internal/smtsm: results must not depend on wall-clock time
+}

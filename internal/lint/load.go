@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A File is one parsed Go source file.
+type File struct {
+	// Path is the module-relative, slash-separated file path; it is the
+	// path diagnostics print.
+	Path string
+	// AST is the parsed file (with comments and object resolution).
+	AST *ast.File
+	// Test reports a _test.go file; several contracts relax inside tests.
+	Test bool
+
+	ignores   []ignoreDirective
+	malformed []token.Pos
+}
+
+// A Package groups the files of one directory.
+type Package struct {
+	// Rel is the module-relative, slash-separated directory path ("." for
+	// the module root). Analyzers scope their contracts on it.
+	Rel string
+	// Files holds every parsed .go file of the directory, tests included.
+	Files []*File
+}
+
+// ModuleRoot ascends from dir to the nearest directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// skipDir reports directories the loader never descends into: VCS and
+// editor state, vendored code, and testdata (which holds intentionally
+// violating lint fixtures).
+func skipDir(name string) bool {
+	return strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+		name == "testdata" || name == "vendor" || name == "node_modules"
+}
+
+// LoadModule parses every package under the module root and returns them
+// sorted by relative path. Parse failures abort the load: a tree that does
+// not parse cannot be meaningfully linted.
+func LoadModule(root string) ([]*Package, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	byDir := map[string]*Package{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		dir := "."
+		if i := strings.LastIndex(rel, "/"); i >= 0 {
+			dir = rel[:i]
+		}
+		f, err := parseFile(fset, path, rel)
+		if err != nil {
+			return err
+		}
+		pkg := byDir[dir]
+		if pkg == nil {
+			pkg = &Package{Rel: dir}
+			byDir[dir] = pkg
+		}
+		pkg.Files = append(pkg.Files, f)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	pkgs := make([]*Package, 0, len(byDir))
+	for _, pkg := range byDir {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Rel < pkgs[j].Rel })
+	return pkgs, fset, nil
+}
+
+// LoadDir parses the .go files directly inside dir into one package whose
+// module-relative path is forced to rel. The lint tests use it to present
+// testdata fixtures to the analyzers as if they lived at a scoped path
+// such as "internal/cpu".
+func LoadDir(fset *token.FileSet, dir, rel string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Rel: rel}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := e.Name()
+		virtual := name
+		if rel != "." {
+			virtual = rel + "/" + name
+		}
+		f, err := parseFile(fset, filepath.Join(dir, name), virtual)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	return pkg, nil
+}
+
+// parseFile parses one source file, registering it in fset under its
+// module-relative path so diagnostics position themselves portably.
+func parseFile(fset *token.FileSet, osPath, rel string) (*File, error) {
+	src, err := os.ReadFile(osPath)
+	if err != nil {
+		return nil, err
+	}
+	astFile, err := parser.ParseFile(fset, rel, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{
+		Path: rel,
+		AST:  astFile,
+		Test: strings.HasSuffix(rel, "_test.go"),
+	}
+	f.ignores, f.malformed = parseIgnores(fset, astFile)
+	return f, nil
+}

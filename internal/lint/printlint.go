@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Printlint keeps stdout under the exclusive control of the CLIs: a
+// library package that prints garbles the machine-readable output
+// (golden artifacts, JSON reports) the cmds emit.
+var Printlint = &Analyzer{
+	Name: "printlint",
+	Doc:  "no fmt.Print*/os.Stdout writes in internal/* — stdout belongs to the CLIs",
+	Run:  runPrintlint,
+}
+
+func runPrintlint(p *Pass) {
+	if !strings.HasPrefix(p.Pkg.Rel, "internal/") && p.Pkg.Rel != "internal" {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue // tests report through *testing.T, not the library path
+		}
+		imports := fileImports(f.AST)
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if path, fn, ok := pkgFuncCall(imports, n); ok && path == "fmt" &&
+					(fn == "Print" || fn == "Println" || fn == "Printf") {
+					p.Reportf(n.Pos(), "fmt.%s in %s writes to stdout: return the data or take an io.Writer", fn, p.Pkg.Rel)
+					return true
+				}
+				// fmt.Fprint*(os.Stdout, ...) and anything(os.Stdout)
+				for _, arg := range n.Args {
+					if path, name, ok := pkgSelector(imports, arg); ok && path == "os" && name == "Stdout" {
+						p.Reportf(arg.Pos(), "os.Stdout passed in %s: stdout belongs to the CLIs, take an io.Writer", p.Pkg.Rel)
+					}
+				}
+			case *ast.SelectorExpr:
+				// os.Stdout.Write / os.Stdout.WriteString receivers.
+				if path, name, ok := pkgSelector(imports, n.X); ok && path == "os" && name == "Stdout" {
+					p.Reportf(n.Pos(), "os.Stdout.%s in %s: stdout belongs to the CLIs, take an io.Writer", n.Sel.Name, p.Pkg.Rel)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,13 @@
+// Command-scope fixture: minting a root context in a main package is the
+// normal entry-point pattern and must not be flagged.
+package main
+
+import "context"
+
+func main() {
+	work(context.Background())
+}
+
+func work(ctx context.Context) {
+	<-ctx.Done()
+}

@@ -1,0 +1,28 @@
+// Package fixture exercises ctxlint: stored contexts, misplaced ctx
+// parameters, and root contexts minted inside library code.
+package fixture
+
+import "context"
+
+// pool stores a context — the canonical anti-pattern ctxlint exists for.
+type pool struct {
+	ctx context.Context // want ctxlint "struct field"
+}
+
+// Lookup takes its context in second position.
+func Lookup(name string, ctx context.Context) error { // want ctxlint "must come first"
+	return ctx.Err()
+}
+
+// Mint creates a root context inside library code.
+func Mint() context.Context {
+	return context.Background() // want ctxlint "context.Background in library code"
+}
+
+// Fetch is the sanctioned shape: ctx first, everything else after.
+func Fetch(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+func use(p *pool) context.Context { return p.ctx }

@@ -1,0 +1,69 @@
+// Package fixture exercises detlint: wall-clock reads, global math/rand,
+// and order-dependent map iteration, next to the shapes it must not flag.
+// `// want <analyzer> "<substring>"` comments mark the expected findings.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock on a result path.
+func Stamp() time.Duration {
+	t0 := time.Now()      // want detlint "time.Now"
+	return time.Since(t0) // want detlint "time.Since"
+}
+
+// Roll draws from the shared global math/rand source.
+func Roll() int {
+	return rand.Intn(6) // want detlint "global rand.Intn"
+}
+
+// Seeded draws from a locally seeded generator — the sanctioned source.
+func Seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}
+
+// Keys appends from map iteration without sorting.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want detlint "range over map"
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned shape: collect the keys, then sort them.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum folds map values commutatively; iteration order cannot matter.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// table holds a map behind a struct field; detlint must still see it.
+type table struct {
+	cells map[string]int
+}
+
+// Render writes the cells in whatever order iteration yields them.
+func (t *table) Render(w io.Writer) {
+	for k, v := range t.cells { // want detlint "range over map"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,13 @@
+// Tests are exempt from the determinism contract: they may time themselves
+// because they do not produce simulated results.
+package fixture
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTiming(t *testing.T) {
+	t0 := time.Now()
+	t.Log(time.Since(t0))
+}

@@ -1,0 +1,38 @@
+// Package fixture exercises errlint: discarded must-check errors, next to
+// the deferred, checked and genuinely valueless shapes it must not flag.
+package fixture
+
+import "os"
+
+// Scrub throws away the removal error — the error is the whole point.
+func Scrub(path string) {
+	os.Remove(path) // want errlint "os.Remove result discarded"
+}
+
+// CloseQuiet drops the close error of a writable file.
+func CloseQuiet(f *os.File) {
+	f.Close() // want errlint "result discarded"
+}
+
+// Blank discards the error with the blank identifier.
+func Blank(f *os.File) {
+	_ = f.Close() // want errlint "blank identifier"
+}
+
+// CloseDeferred is exempt: a deferred Close has nowhere to return to.
+func CloseDeferred(f *os.File) {
+	defer f.Close()
+}
+
+// Grow blank-assigns append's result, which discards no error.
+func Grow(xs []int) {
+	_ = append(xs, 1)
+}
+
+// CloseChecked is the sanctioned shape.
+func CloseChecked(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+// Command-scope fixture for exitlint: exits before any defer are the
+// normal flag-validation pattern; an exit after a pending defer skips it.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tool <path>")
+		os.Exit(2)
+	}
+	f, err := os.Create(os.Args[1])
+	if err != nil {
+		os.Exit(1)
+	}
+	defer f.Close()
+	if _, err := f.WriteString("x"); err != nil {
+		os.Exit(1) // want exitlint "after a pending defer"
+	}
+}

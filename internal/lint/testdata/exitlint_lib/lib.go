@@ -1,0 +1,17 @@
+// Library-scope fixture for exitlint: hard exits are never legal here.
+package fixture
+
+import (
+	"log"
+	"os"
+)
+
+// Die hard-exits from library code.
+func Die() {
+	os.Exit(1) // want exitlint "os.Exit in library package"
+}
+
+// Fatal hijacks the caller's process.
+func Fatal(err error) {
+	log.Fatalf("boom: %v", err) // want exitlint "log.Fatalf in library package"
+}

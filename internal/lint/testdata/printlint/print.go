@@ -1,0 +1,34 @@
+// Package fixture exercises printlint: stdout writes from library code,
+// next to the stderr and io.Writer shapes it must not flag.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Dump prints straight to stdout.
+func Dump(v int) {
+	fmt.Println(v) // want printlint "fmt.Println"
+}
+
+// Banner reaches stdout through the os handle.
+func Banner() {
+	fmt.Fprintf(os.Stdout, "hi\n") // want printlint "os.Stdout"
+}
+
+// Push writes via a method on the stdout handle.
+func Push(s string) (int, error) {
+	return os.Stdout.WriteString(s) // want printlint "os.Stdout.WriteString"
+}
+
+// Warn writes to stderr, which stays legal for diagnostics.
+func Warn() {
+	fmt.Fprintln(os.Stderr, "careful")
+}
+
+// Render takes a writer — the sanctioned shape.
+func Render(w io.Writer, v int) {
+	fmt.Fprintf(w, "%d\n", v)
+}

@@ -1,0 +1,31 @@
+// Package fixture exercises the //lint:ignore machinery: valid directives
+// on the flagged line and the line above, a directive naming an unknown
+// analyzer, and a directive with no reason. The expectations live in
+// TestSuppression, because a full-line directive comment cannot carry a
+// want comment of its own.
+package fixture
+
+import "time"
+
+// Calibrate measures real elapsed time on purpose; both directive
+// placements (line above, same line) must silence detlint.
+func Calibrate() time.Duration {
+	//lint:ignore detlint calibration is wall-clock by definition
+	t0 := time.Now()
+	d := time.Since(t0) //lint:ignore detlint calibration is wall-clock by definition
+	return d
+}
+
+// Wrong names an analyzer that does not exist, so nothing is suppressed
+// and the directive itself is reported.
+func Wrong() time.Duration {
+	//lint:ignore speedlint this analyzer does not exist
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+// Short carries a directive with no reason: malformed, suppresses nothing.
+func Short() time.Time {
+	//lint:ignore detlint
+	return time.Now()
+}

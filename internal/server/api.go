@@ -171,7 +171,7 @@ func (s *Server) handleMetric(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, rec)
 		return
 	}
-	if !s.admit(w, r.Context()) {
+	if !s.admit(r.Context(), w) {
 		return
 	}
 	defer s.lim.release()
@@ -246,7 +246,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, rec)
 		return
 	}
-	if !s.admit(w, r.Context()) {
+	if !s.admit(r.Context(), w) {
 		return
 	}
 	defer s.lim.release()

@@ -86,8 +86,12 @@ func (s *Server) vars() map[string]any {
 
 // handleVars serves /debug/vars.
 func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	body, err := json.MarshalIndent(s.vars(), "", "  ")
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(s.vars())
+	//lint:ignore errlint the response write is best-effort: the client may have hung up
+	_, _ = w.Write(append(body, '\n'))
 }

@@ -224,6 +224,7 @@ func (s *Server) accessLog(r *http.Request, status int, bytes int64, elapsed tim
 	}
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
+	//lint:ignore errlint access logging is best-effort by design: a full log disk must not fail requests
 	_, _ = s.cfg.AccessLog.Write(append(line, '\n'))
 }
 
@@ -247,9 +248,17 @@ type errorBody struct {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		// Marshal of the server's own response types cannot fail; if it
+		// ever does, a 500 with no body beats a silently truncated 200.
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	//lint:ignore errlint the response write is best-effort: the client may have hung up, and the status is already committed
+	_, _ = w.Write(append(body, '\n'))
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -269,7 +278,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // admit runs the bounded-concurrency admission for one request, translating
 // limiter failures into the right HTTP status. On success the caller must
 // call s.lim.release().
-func (s *Server) admit(w http.ResponseWriter, ctx context.Context) bool {
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
 	if err := s.lim.acquire(ctx); err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			s.met.shed.Add(1)

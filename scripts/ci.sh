@@ -19,10 +19,9 @@ step() {
 step "build"
 go build ./...
 
-step "vet"
+step "lint (smtlint + vet + gofmt)"
+go run ./cmd/smtlint ./...
 go vet ./...
-
-step "gofmt gate"
 out="$(gofmt -l .)"
 if [ -n "$out" ]; then
 	echo "gofmt needed on:" >&2

@@ -30,13 +30,19 @@ func main() {
 	for time.Now().Before(deadline) {
 		resp, err := client.Get(*url)
 		if err == nil {
-			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
+			body, readErr := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			closeErr := resp.Body.Close()
+			switch {
+			case readErr != nil:
+				lastErr = fmt.Errorf("reading response: %w", readErr)
+			case closeErr != nil:
+				lastErr = fmt.Errorf("closing response: %w", closeErr)
+			case resp.StatusCode == http.StatusOK:
 				fmt.Printf("healthcheck: %s -> %d %s\n", *url, resp.StatusCode, body)
 				return
+			default:
+				lastErr = fmt.Errorf("status %d: %s", resp.StatusCode, body)
 			}
-			lastErr = fmt.Errorf("status %d: %s", resp.StatusCode, body)
 		} else {
 			lastErr = err
 		}

@@ -24,17 +24,23 @@
 //
 // The quickest path through the API:
 //
-//	m, _ := smtselect.NewPOWER7Machine(1)          // 8 cores, starts at SMT4
+//	ctx := context.Background()
+//	m, _ := smtselect.NewPOWER7Machine(1)                // 8 cores, starts at SMT4
 //	spec, _ := smtselect.Workload("EP")
-//	res, _ := smtselect.RunWorkload(m, spec, 42)   // one thread per hw thread
-//	fmt.Println(res.Metric.Value)                  // the SMTsm value
+//	res, _ := smtselect.RunWorkload(ctx, m, spec, 42)    // one thread per hw thread
+//	fmt.Println(res.Metric.Value)                        // the SMTsm value
 //
 // and to pick the best SMT level for a workload:
 //
-//	best, _ := smtselect.BestSMTLevel(smtselect.POWER7(), 1, spec, 42)
+//	best, _ := smtselect.BestSMTLevel(ctx, smtselect.POWER7(), 1, spec, 42)
+//
+// Every entry point that simulates takes a context.Context first: cancel
+// it (or attach a deadline) to bound the simulation; results produced
+// before the deadline are returned alongside the context error.
 package smtselect
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -123,13 +129,13 @@ type RunResult struct {
 // (the paper's methodology) and returns the wall time, counters and metric.
 // The machine's microarchitectural state is reset first so results are
 // comparable across SMT levels.
-func RunWorkload(m *Machine, spec *WorkloadSpec, seed uint64) (RunResult, error) {
+func RunWorkload(ctx context.Context, m *Machine, spec *WorkloadSpec, seed uint64) (RunResult, error) {
 	m.Reset()
 	inst, err := workload.Instantiate(spec, m.HardwareThreads(), seed)
 	if err != nil {
 		return RunResult{}, err
 	}
-	wall, err := m.Run(inst.Sources(), 0)
+	wall, err := m.RunContext(ctx, inst.Sources(), 0)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -150,7 +156,7 @@ func ComputeMetric(d *Arch, s *Counters) Metric { return smtsm.Compute(d, s) }
 // BestSMTLevel measures spec at every SMT level the architecture exposes
 // and returns the level with the shortest wall time, along with the per-
 // level results keyed by SMT level. It is the oracle the metric predicts.
-func BestSMTLevel(d *Arch, chips int, spec *WorkloadSpec, seed uint64) (int, map[int]RunResult, error) {
+func BestSMTLevel(ctx context.Context, d *Arch, chips int, spec *WorkloadSpec, seed uint64) (int, map[int]RunResult, error) {
 	m, err := cpu.NewMachine(d, chips)
 	if err != nil {
 		return 0, nil, err
@@ -161,7 +167,7 @@ func BestSMTLevel(d *Arch, chips int, spec *WorkloadSpec, seed uint64) (int, map
 		if err := m.SetSMTLevel(level); err != nil {
 			return 0, nil, err
 		}
-		res, err := RunWorkload(m, spec, seed)
+		res, err := RunWorkload(ctx, m, spec, seed)
 		if err != nil {
 			return 0, nil, fmt.Errorf("SMT%d: %w", level, err)
 		}
@@ -201,7 +207,7 @@ type CalibrationResult struct {
 // lowest SMT levels, gathers (metric@highest, speedup) observations, and
 // derives thresholds with both of the paper's procedures. This is the
 // "representative workload set" calibration of Section V.
-func Calibrate(d *Arch, chips int, benches []string, seed uint64) (CalibrationResult, error) {
+func Calibrate(ctx context.Context, d *Arch, chips int, benches []string, seed uint64) (CalibrationResult, error) {
 	m, err := cpu.NewMachine(d, chips)
 	if err != nil {
 		return CalibrationResult{}, err
@@ -217,14 +223,14 @@ func Calibrate(d *Arch, chips int, benches []string, seed uint64) (CalibrationRe
 		if err := m.SetSMTLevel(hi); err != nil {
 			return CalibrationResult{}, err
 		}
-		rHi, err := RunWorkload(m, spec, seed)
+		rHi, err := RunWorkload(ctx, m, spec, seed)
 		if err != nil {
 			return CalibrationResult{}, fmt.Errorf("%s@SMT%d: %w", b, hi, err)
 		}
 		if err := m.SetSMTLevel(lo); err != nil {
 			return CalibrationResult{}, err
 		}
-		rLo, err := RunWorkload(m, spec, seed)
+		rLo, err := RunWorkload(ctx, m, spec, seed)
 		if err != nil {
 			return CalibrationResult{}, fmt.Errorf("%s@SMT%d: %w", b, lo, err)
 		}
@@ -256,9 +262,9 @@ func NewController(d *Arch, cfg ControllerConfig) (*Controller, error) {
 }
 
 // RunAdaptive drives a machine through chunked work under controller
-// control; see controller.RunAdaptive.
-func RunAdaptive(m *Machine, ctrl *Controller, src controller.WorkSource, maxCycles int64) ([]controller.IntervalResult, int64, error) {
-	return controller.RunAdaptive(m, ctrl, src, maxCycles)
+// control; see controller.RunAdaptiveContext.
+func RunAdaptive(ctx context.Context, m *Machine, ctrl *Controller, src controller.WorkSource, maxCycles int64) ([]controller.IntervalResult, int64, error) {
+	return controller.RunAdaptiveContext(ctx, m, ctrl, src, maxCycles)
 }
 
 // DefaultP7Benchmarks is the paper's single-chip POWER7 evaluation set.

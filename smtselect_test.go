@@ -1,6 +1,7 @@
 package smtselect_test
 
 import (
+	"context"
 	"testing"
 
 	smtselect "repro"
@@ -77,7 +78,7 @@ func TestRunWorkloadEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := smtselect.RunWorkload(m, spec, 1)
+	res, err := smtselect.RunWorkload(context.Background(), m, spec, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestRunWorkloadEndToEnd(t *testing.T) {
 		t.Fatal("no useful instructions recorded")
 	}
 	// Determinism through the public API.
-	res2, err := smtselect.RunWorkload(m, spec, 1)
+	res2, err := smtselect.RunWorkload(context.Background(), m, spec, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestBestSMTLevel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, all, err := smtselect.BestSMTLevel(smtselect.POWER7(), 1, spec, 1)
+	best, all, err := smtselect.BestSMTLevel(context.Background(), smtselect.POWER7(), 1, spec, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestCalibrateSmallSet(t *testing.T) {
 	}
 	// A small but well-conditioned set: two clear SMT winners with low
 	// metrics and two clear SMT losers with high metrics.
-	cal, err := smtselect.Calibrate(smtselect.POWER7(), 1,
+	cal, err := smtselect.Calibrate(context.Background(), smtselect.POWER7(), 1,
 		[]string{"EP", "Blackscholes", "Stream", "SSCA2"}, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -161,7 +162,7 @@ func TestCalibrateSmallSet(t *testing.T) {
 }
 
 func TestCalibrateUnknownBench(t *testing.T) {
-	if _, err := smtselect.Calibrate(smtselect.POWER7(), 1, []string{"nope"}, 1); err == nil {
+	if _, err := smtselect.Calibrate(context.Background(), smtselect.POWER7(), 1, []string{"nope"}, 1); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
 }
@@ -172,7 +173,7 @@ func TestComputeMetricMatchesRun(t *testing.T) {
 	}
 	m, _ := smtselect.NewPOWER7Machine(1)
 	spec, _ := smtselect.Workload("Vips")
-	res, err := smtselect.RunWorkload(m, spec, 2)
+	res, err := smtselect.RunWorkload(context.Background(), m, spec, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
