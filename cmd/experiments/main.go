@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/threshold"
 	"repro/internal/workload"
@@ -38,6 +39,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent simulations while filling the run matrix (0 = GOMAXPROCS)")
 		cellTimeout = flag.Duration("cell-timeout", 0, "wall-clock budget per benchmark run (0 = none)")
 		progress    = flag.Bool("progress", true, "print one line per completed matrix cell")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProfile  = flag.String("memprofile", "", "write a post-campaign heap profile to this file")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -65,11 +68,26 @@ func main() {
 		}
 	}
 
+	// Profile paths are validated (files created, CPU profile started) here,
+	// before any simulation work. Profiles are written by the deferred Stop
+	// on a clean exit; a mid-campaign os.Exit on a figure error forfeits
+	// them, like any crash would.
+	profiler, profErr := prof.Start(*cpuProfile, *memProfile)
+	if profErr != nil {
+		fmt.Fprintln(os.Stderr, profErr)
+		os.Exit(1)
+	}
+
 	// Ctrl-C cancels the sweep; cells already simulated are kept, so the
 	// figures render from whatever completed (partial figures show up as a
 	// reduced point count). All hard exits happen above this point: once the
 	// signal handler is registered, every path returns normally so the
-	// deferred stop runs (exitlint enforces this shape).
+	// deferred stops run (exitlint enforces this shape).
+	defer func() {
+		if err := profiler.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 

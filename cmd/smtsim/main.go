@@ -18,20 +18,23 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/cpu"
+	"repro/internal/prof"
 	"repro/internal/smtsm"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		benchName = flag.String("bench", "EP", "benchmark name (see -list)")
-		specFile  = flag.String("spec", "", "load a custom workload spec from a JSON file instead of -bench")
-		archName  = flag.String("arch", "power7", "architecture: power7, nehalem or smt8")
-		chips     = flag.Int("chips", 1, "number of chips")
-		smt       = flag.Int("smt", 0, "SMT level (0 = architecture maximum)")
-		seed      = flag.Uint64("seed", 1, "workload seed")
-		maxCycles = flag.Int64("maxcycles", 200_000_000, "simulation cycle limit")
-		list      = flag.Bool("list", false, "list available benchmarks and exit")
+		benchName  = flag.String("bench", "EP", "benchmark name (see -list)")
+		specFile   = flag.String("spec", "", "load a custom workload spec from a JSON file instead of -bench")
+		archName   = flag.String("arch", "power7", "architecture: power7, nehalem or smt8")
+		chips      = flag.Int("chips", 1, "number of chips")
+		smt        = flag.Int("smt", 0, "SMT level (0 = architecture maximum)")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		maxCycles  = flag.Int64("maxcycles", 200_000_000, "simulation cycle limit")
+		list       = flag.Bool("list", false, "list available benchmarks and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile for the run to this file")
+		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
 
@@ -91,9 +94,22 @@ func main() {
 	fmt.Printf("%s on %s (%d chip(s), %d cores) @ SMT%d with %d software threads\n",
 		spec.Name, d.Name, m.NumChips(), m.NumCores(), level, threads)
 
+	// Profile exactly the simulation; flag typos fail here, before the run.
+	// The profiler is stopped explicitly (not deferred) so this function
+	// keeps its straight-line os.Exit error handling.
+	profiler, profErr := prof.Start(*cpuProfile, *memProfile)
+	if profErr != nil {
+		fmt.Fprintln(os.Stderr, profErr)
+		os.Exit(1)
+	}
+
 	t0 := time.Now()
 	wall, err := m.RunContext(context.Background(), inst.Sources(), *maxCycles)
 	hostDur := time.Since(t0)
+	if stopErr := profiler.Stop(); stopErr != nil {
+		fmt.Fprintln(os.Stderr, stopErr)
+		os.Exit(1)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "run: %v (after %d cycles)\n", err, wall)
 		os.Exit(1)

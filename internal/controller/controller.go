@@ -209,15 +209,32 @@ type ProbeResult struct {
 // deadline or cancel it when a client disconnects; on cancellation the
 // context's error is returned.
 func Probe(ctx context.Context, d *arch.Desc, chips int, spec *workload.Spec, seed uint64) (ProbeResult, error) {
+	return ProbeWith(ctx, nil, d, chips, spec, seed)
+}
+
+// ProbeWith is Probe with an optional machine pool: when pool is non-nil the
+// simulated machine is borrowed from it and returned after the run, so hot
+// callers (smtservd, the experiment matrix) amortize machine construction.
+// A nil pool builds a machine per call, exactly as Probe always has.
+func ProbeWith(ctx context.Context, pool *cpu.Pool, d *arch.Desc, chips int, spec *workload.Spec, seed uint64) (ProbeResult, error) {
 	// The simulator polls ctx only every few thousand simulated cycles; a
 	// short probe can finish before the first poll, so check up front that
 	// the caller still wants the result.
 	if err := ctx.Err(); err != nil {
 		return ProbeResult{}, err
 	}
-	m, err := cpu.NewMachine(d, chips)
+	var m *cpu.Machine
+	var err error
+	if pool != nil {
+		m, err = pool.Get(d, chips)
+	} else {
+		m, err = cpu.NewMachine(d, chips)
+	}
 	if err != nil {
 		return ProbeResult{}, err
+	}
+	if pool != nil {
+		defer pool.Put(m)
 	}
 	inst, err := workload.Instantiate(spec, m.HardwareThreads(), seed)
 	if err != nil {

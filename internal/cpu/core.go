@@ -202,6 +202,20 @@ type Core struct {
 	dispatchRR   int
 	retireRR     int
 
+	// classPorts[class] lists the ports eligible for class in ascending
+	// index order — pickPort's scan order — precomputed from
+	// arch.ClassPorts so dispatch does not re-test the port mask.
+	classPorts [isa.NumClasses][]uint8
+
+	// Event-engine bookkeeping (see engine.go). lastStepped is the last
+	// cycle this core actually stepped; nextEvent is the earliest future
+	// cycle at which stepping it could change state; busyEnd and idleProbe
+	// cache the end-of-step anyBusy and probed-idle conditions.
+	lastStepped int64
+	nextEvent   int64
+	busyEnd     bool
+	idleProbe   bool
+
 	// Counters (see counters.Snapshot for semantics).
 	dispHeldCycles uint64
 	retired        uint64
@@ -223,6 +237,14 @@ func newCore(d *arch.Desc, chip *Chip, id int) *Core {
 	}
 	for p := range c.ports {
 		c.ports[p].init(d.PortQueueCap)
+	}
+	for class := range c.classPorts {
+		mask := d.ClassPorts[class]
+		for p := 0; p < d.NumPorts; p++ {
+			if mask.Has(p) {
+				c.classPorts[class] = append(c.classPorts[class], uint8(p))
+			}
+		}
 	}
 	c.contexts = make([]*Context, d.MaxSMT)
 	for i := range c.contexts {
@@ -252,6 +274,8 @@ func (c *Core) resetState() {
 	c.l2.Reset()
 	c.pf.reset()
 	c.fetchRR, c.dispatchRR, c.retireRR = 0, 0, 0
+	c.lastStepped, c.nextEvent = 0, 0
+	c.busyEnd, c.idleProbe = false, false
 	c.dispHeldCycles = 0
 	c.retired = 0
 	c.retiredByClass = [isa.NumClasses]uint64{}
@@ -284,7 +308,7 @@ func (c *Core) accessMem(addr uint64, shared bool, now int64) int {
 		c.pf.Useful++
 		if pl.readyAt <= now {
 			// Prefetch already landed: treat as an L2 hit.
-			pl.valid = false
+			c.pf.drop(slot)
 			c.l2.Insert(addr)
 			c.l1.Insert(addr)
 			c.hitsByLevel[mem.LevelL2]++
@@ -292,7 +316,7 @@ func (c *Core) accessMem(addr uint64, shared bool, now int64) int {
 		}
 		// Still in flight: pay the remaining latency.
 		remaining := int(pl.readyAt - now)
-		pl.valid = false
+		c.pf.drop(slot)
 		c.l2.Insert(addr)
 		c.l1.Insert(addr)
 		c.hitsByLevel[mem.LevelMem]++
@@ -522,17 +546,15 @@ func (c *Core) stepDispatch(now int64) {
 }
 
 // pickPort selects the eligible port with the most queue headroom, or -1 if
-// every eligible queue is full.
+// every eligible queue is full. Headroom is measured against the ring size
+// (the power-of-two rounding of the architectural capacity), matching the
+// historical behavior the golden artifacts pin.
 func (c *Core) pickPort(class isa.Class) int {
-	mask := c.arch.ClassPorts[class]
 	best, bestFree := -1, 0
-	for p := 0; p < c.arch.NumPorts; p++ {
-		if !mask.Has(p) {
-			continue
-		}
+	for _, p := range c.classPorts[class] {
 		free := len(c.ports[p].refs) - c.ports[p].n
 		if free > bestFree {
-			best, bestFree = p, free
+			best, bestFree = int(p), free
 		}
 	}
 	return best

@@ -1,0 +1,343 @@
+package cpu
+
+import (
+	"context"
+	"fmt"
+)
+
+// This file implements the event-driven cycle engine. The scan engine
+// (machine.go, runScan) steps every core on every simulated cycle; this
+// engine keeps a per-core next-event cycle and only steps cores at cycles
+// where their state can actually change, fast-forwarding the per-cycle
+// bookkeeping (round-robin rotation, busy/held accounting) over the skipped
+// stretch. Both engines produce bit-identical simulations; the golden
+// artifact suite and TestEngineEquivalence are the referee.
+//
+// Soundness of skipping rests on three invariants:
+//
+//  1. A core whose next-event cycle is in the future executes only no-op
+//     steps until then: nothing retires, issues, dispatches or fetches, so
+//     skipping those steps changes no microarchitectural state. The entry
+//     readyAt bounds this relies on are sound lower bounds because every
+//     class's Latency is at or below its true execution latency
+//     (Latency[Load] is the L1 hit latency, Latency[Store] is the 1-cycle
+//     store-queue drain).
+//  2. A probed-idle context (its source returned FetchIdle) can be woken
+//     externally by another thread's progress — a lock grant or barrier
+//     release happens inside the *holder's* Fetch. While any context in
+//     the machine is busy, a core hosting a probed-idle context is
+//     therefore pinned to 1-cycle stepping so the idle source is re-probed
+//     every cycle, exactly as the scan engine probes it. Idle probes are
+//     pure (no source state changes), so when the whole machine is idle no
+//     external wake can occur and the clock may jump to the earliest wake
+//     hint — the scan engine's idleSkip.
+//  3. An empty-pipeline context that was NOT probed on its last stepped
+//     cycle is fetch-stalled on a branch redirect; its source was last
+//     executing instructions, so its wake hint is "now" throughout the
+//     stall and the scan engine would account it busy. fastForward
+//     re-derives sleep state from the frozen WakeHint, which matches.
+//
+// Skipped cycles come in two flavors, mirroring the scan engine:
+//
+//   - per-core skips and machine-idle skips with a pending hardware event
+//     are "stepped-equivalent": the scan engine would have stepped those
+//     cycles as no-ops, so fastForward rotates the round-robin pointers and
+//     accrues busy/held cycles;
+//   - machine-idle skips with no hardware event pending (every unfinished
+//     thread asleep with a future wake hint) are "frozen": the scan
+//     engine's idleSkip jumps the clock without stepping, so no pointers
+//     rotate and nothing accrues.
+
+// neverEvent marks a core with no scheduled event (all contexts finished,
+// or progress only possible through another context's action).
+const neverEvent = int64(1) << 62
+
+// step runs one full cycle on the core and refreshes its event-engine
+// bookkeeping. It returns the number of contexts that finished this cycle.
+func (c *Core) step(now int64) int {
+	c.stepRetire(now)
+	c.stepIssue(now)
+	c.stepDispatch(now)
+	c.stepFetch(now)
+	finished := c.endCycle(now)
+	c.lastStepped = now
+	c.busyEnd = c.anyBusy()
+	c.idleProbe = false
+	for i := 0; i < c.active; i++ {
+		ctx := c.contexts[i]
+		if !ctx.finished && ctx.sawIdleThisCycle {
+			c.idleProbe = true
+			break
+		}
+	}
+	c.nextEvent = c.computeNextEvent(now)
+	return finished
+}
+
+// computeNextEvent returns the earliest future cycle at which stepping the
+// core could change its state, evaluated on the state left by a step at
+// cycle now. It is a sound lower bound: cycles strictly before the returned
+// value are provable no-ops (probed-idle contexts excepted — the run loop
+// pins those to 1-cycle stepping while the machine is busy).
+func (c *Core) computeNextEvent(now int64) int64 {
+	next := int64(neverEvent)
+	for i := 0; i < c.active; i++ {
+		ctx := c.contexts[i]
+		if ctx.finished {
+			continue
+		}
+		// Fetch: a fetch-eligible context must be probed next cycle. A
+		// probed-idle context is excluded here — its wake is handled by the
+		// run loop (invariant 2 above).
+		if !ctx.done && !ctx.fetchBlocked && ctx.fbLen < fetchBufCap && !ctx.sawIdleThisCycle {
+			if ctx.fetchStallUntil > now+1 {
+				if ctx.fetchStallUntil < next {
+					next = ctx.fetchStallUntil
+				}
+			} else {
+				return now + 1
+			}
+		}
+		// Dispatch: the buffered head can enter the window next cycle.
+		if ctx.fbLen > 0 && ctx.windowLen() < c.windowPerCtx &&
+			c.pickPort(ctx.fetchBuf[ctx.fbHead].Class) >= 0 {
+			return now + 1
+		}
+		// Retire: the oldest in-flight instruction completes. A waiting
+		// head is covered by the issue events below.
+		if ctx.head < ctx.tail {
+			e := &ctx.entries[ctx.head&histMask]
+			if e.state == entryIssued {
+				if e.completeAt <= now+1 {
+					return now + 1
+				}
+				if e.completeAt < next {
+					next = e.completeAt
+				}
+			}
+		}
+	}
+	// Issue: the earliest cycle any queued instruction could issue, from
+	// the cached readiness bounds and port busy windows. No entry can issue
+	// before the port's floor (its busy window), so the scan stops at the
+	// first entry already ready by then — the common case on a saturated
+	// port — instead of visiting the whole queue.
+	for p := range c.ports {
+		q := &c.ports[p]
+		if q.empty() {
+			continue
+		}
+		floor := now + 1
+		if q.busyUntil > floor {
+			floor = q.busyUntil
+		}
+		ev := int64(neverEvent)
+		for i := 0; i < q.n; i++ {
+			r := q.at(i)
+			e := &c.contexts[r.ctx].entries[r.seq&histMask]
+			if e.readyAt <= floor {
+				ev = floor
+				break
+			}
+			if e.readyAt < ev {
+				ev = e.readyAt
+			}
+		}
+		if ev <= now+1 {
+			return now + 1
+		}
+		if ev < next {
+			next = ev
+		}
+	}
+	return next
+}
+
+// fastForward applies the per-cycle bookkeeping the scan engine would have
+// performed over k skipped no-op cycles following a step at cycle from:
+// round-robin pointers rotate once per cycle, non-sleeping contexts accrue
+// busy time, and a blocked dispatch stage accrues held cycles. Context
+// state is frozen across the skip (no steps ran), so the busy/held
+// conditions of cycle from hold for every skipped cycle.
+func (c *Core) fastForward(from, k int64) {
+	r := int(k % int64(c.arch.MaxSMT))
+	c.fetchRR = (c.fetchRR + r) % c.arch.MaxSMT
+	c.dispatchRR = (c.dispatchRR + r) % c.arch.MaxSMT
+	c.retireRR = (c.retireRR + r) % c.arch.MaxSMT
+	held := false
+	for i := 0; i < c.active; i++ {
+		ctx := c.contexts[i]
+		if ctx.finished {
+			continue
+		}
+		if ctx.fbLen > 0 {
+			// On a skipped core every buffered context is dispatch-blocked
+			// (otherwise dispatch would have been a next-cycle event).
+			held = true
+		}
+		asleep := false
+		if ctx.windowLen() == 0 && ctx.fbLen == 0 && !ctx.done {
+			if ctx.sawIdleThisCycle {
+				asleep = true
+			} else if ctx.waker != nil {
+				asleep = ctx.waker.WakeHint(from) > from
+			}
+		}
+		if !asleep {
+			ctx.busyCycles += k
+		}
+	}
+	if held {
+		c.dispHeldCycles += uint64(k)
+	}
+}
+
+// settleCores brings every core's bookkeeping up to cycle upto, crediting
+// any still-pending skipped cycles. Called on every run-loop exit so that
+// Counters always reflects the full simulated range.
+func (m *Machine) settleCores(upto int64) {
+	for _, c := range m.cores {
+		if k := upto - c.lastStepped; k > 0 {
+			c.fastForward(c.lastStepped, k)
+			c.lastStepped = upto
+		}
+	}
+}
+
+// runEvent is the event-driven run loop: it steps only cores whose next
+// event is due and advances the clock to the earliest pending event
+// otherwise. remaining is the count of unfinished sources; deadline is the
+// absolute cycle limit.
+func (m *Machine) runEvent(ctx context.Context, remaining int, deadline int64) (int64, error) {
+	start := m.now
+	nextCheck := start + ctxCheckInterval
+	for _, c := range m.cores {
+		c.lastStepped = m.now - 1
+		c.nextEvent = m.now
+		c.busyEnd = false
+		c.idleProbe = false
+	}
+	for remaining > 0 {
+		if m.now >= deadline {
+			m.settleCores(m.now - 1)
+			return m.now - start, ErrCycleLimit
+		}
+		if m.now >= nextCheck {
+			nextCheck = m.now + ctxCheckInterval
+			select {
+			case <-ctx.Done():
+				m.settleCores(m.now - 1)
+				return m.now - start, fmt.Errorf("%w after %d cycles: %w", ErrCanceled, m.now-start, ctx.Err())
+			default:
+			}
+		}
+		busy := false
+		for _, c := range m.cores {
+			if c.nextEvent <= m.now {
+				if k := m.now - 1 - c.lastStepped; k > 0 {
+					c.fastForward(c.lastStepped, k)
+				}
+				remaining -= c.step(m.now)
+			}
+			if c.busyEnd {
+				busy = true
+			}
+		}
+		if remaining == 0 {
+			m.now++
+			break
+		}
+		var next int64
+		if busy {
+			next = neverEvent
+			for _, c := range m.cores {
+				if c.idleProbe && m.now+1 < c.nextEvent {
+					// Invariant 2: keep re-probing idle sources every
+					// cycle while anything in the machine is making
+					// progress, so external wakes land on time. Probe
+					// timing is observable (a barrier wake pays its
+					// latency from the probing cycle), so this matches
+					// the scan engine probe for probe.
+					c.nextEvent = m.now + 1
+				}
+				if c.nextEvent < next {
+					next = c.nextEvent
+				}
+			}
+		} else {
+			// The whole machine is idle: no external wake can occur, so
+			// jump to the earliest hardware event or wake hint.
+			hard := int64(neverEvent)
+			hint := int64(neverEvent)
+			for _, c := range m.cores {
+				if c.nextEvent < hard {
+					hard = c.nextEvent
+				}
+				if !c.idleProbe {
+					continue
+				}
+				for i := 0; i < c.active; i++ {
+					cc := c.contexts[i]
+					if cc.finished || !cc.sawIdleThisCycle {
+						continue
+					}
+					h := m.now + 1
+					if cc.waker != nil {
+						if wh := cc.waker.WakeHint(m.now); wh > h {
+							h = wh
+						}
+					}
+					if h < hint {
+						hint = h
+					}
+				}
+			}
+			if hard == neverEvent {
+				// Pure sleep: the scan engine's idleSkip jumps the clock
+				// without stepping — credit pending skips, then freeze.
+				next = hint
+				if next <= m.now {
+					next = m.now + 1
+				}
+				if next > deadline {
+					next = deadline
+				}
+				m.settleCores(m.now)
+				for _, c := range m.cores {
+					c.lastStepped = next - 1
+					c.nextEvent = next
+				}
+				m.now = next
+				continue
+			}
+			next = hard
+			if hint < next {
+				next = hint
+			}
+			if next <= m.now {
+				next = m.now + 1
+			}
+			if next > deadline {
+				next = deadline
+			}
+			// The scan engine steps every core at the cycle an idle
+			// stretch ends, and a waking thread's first probe can act on
+			// state another core changes that same cycle (a barrier pass),
+			// so every core must step at the jump target.
+			for _, c := range m.cores {
+				c.nextEvent = next
+			}
+			m.now = next
+			continue
+		}
+		if next <= m.now {
+			next = m.now + 1
+		}
+		if next > deadline {
+			next = deadline
+		}
+		m.now = next
+	}
+	m.settleCores(m.now - 1)
+	return m.now - start, nil
+}

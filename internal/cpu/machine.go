@@ -27,9 +27,13 @@ type Chip struct {
 type Machine struct {
 	desc  *arch.Desc
 	chips []*Chip
+	// cores lists every core flat, chip-major — the iteration order of the
+	// run loops.
+	cores []*Core
 
 	smtLevel    int
 	numaPenalty int
+	engine      Engine
 
 	now     int64
 	running bool
@@ -67,7 +71,9 @@ func NewMachine(d *arch.Desc, numChips int) (*Machine, error) {
 			dram:    mem.NewDRAM(d.Mem.MemLat, d.Mem.MemCyclesPerLine, d.Mem.MemMaxQueue),
 		}
 		for k := 0; k < d.CoresPerChip; k++ {
-			chip.cores = append(chip.cores, newCore(d, chip, coreID))
+			core := newCore(d, chip, coreID)
+			chip.cores = append(chip.cores, core)
+			m.cores = append(m.cores, core)
 			coreID++
 		}
 		m.chips = append(m.chips, chip)
@@ -113,11 +119,41 @@ func (m *Machine) SetSMTLevel(level int) error {
 	return nil
 }
 
+// Engine selects the cycle-advancement strategy of RunContext. Both
+// engines simulate bit-identically (see engine.go); the scan engine is kept
+// as the reference implementation the equivalence tests compare against.
+type Engine uint8
+
+const (
+	// EngineEvent steps only cores with a due event, skipping provably
+	// idle stretches per core. The default.
+	EngineEvent Engine = iota
+	// EngineScan steps every core on every cycle — the original engine.
+	EngineScan
+)
+
+// SetEngine switches the cycle-advancement strategy. Like SetSMTLevel it
+// acts at a quiescent point and fails while a run is in progress.
+func (m *Machine) SetEngine(e Engine) error {
+	if m.running {
+		return errors.New("cpu: cannot change engine while a run is in progress")
+	}
+	if e != EngineEvent && e != EngineScan {
+		return fmt.Errorf("cpu: unknown engine %d", e)
+	}
+	m.engine = e
+	return nil
+}
+
+// Engine returns the current cycle-advancement strategy.
+func (m *Machine) Engine() Engine { return m.engine }
+
 // Reset clears all microarchitectural state (caches, predictors, DRAM row
 // buffers), counters, and the clock. Placement and SMT level survive.
 func (m *Machine) Reset() {
 	m.now = 0
-	m.threadCtx = nil
+	m.threadCtx = m.threadCtx[:0]
+	m.activeCores = 0
 	for _, chip := range m.chips {
 		chip.l3.Reset()
 		chip.dram.Reset()
@@ -183,32 +219,44 @@ func (m *Machine) RunContext(ctx context.Context, sources []isa.Source, maxCycle
 	m.running = true
 	defer func() { m.running = false }()
 
-	// Placement: thread i → active context i, core-major.
-	m.threadCtx = make([]*Context, len(sources))
+	// Placement: thread i → active context i, core-major. The mapping
+	// slice is reused across runs so the steady-state path allocates
+	// nothing.
+	if cap(m.threadCtx) < len(sources) {
+		m.threadCtx = make([]*Context, len(sources))
+	} else {
+		m.threadCtx = m.threadCtx[:len(sources)]
+	}
 	m.activeCores = (len(sources) + m.smtLevel - 1) / m.smtLevel
 	idx := 0
-	for _, chip := range m.chips {
-		for _, core := range chip.cores {
-			for ci := 0; ci < core.active; ci++ {
-				ctx := core.contexts[ci]
-				if idx < len(sources) {
-					ctx.reset(sources[idx])
-					m.threadCtx[idx] = ctx
-					idx++
-				} else {
-					ctx.reset(nil)
-				}
+	for _, core := range m.cores {
+		for ci := 0; ci < core.active; ci++ {
+			cc := core.contexts[ci]
+			if idx < len(sources) {
+				cc.reset(sources[idx])
+				m.threadCtx[idx] = cc
+				idx++
+			} else {
+				cc.reset(nil)
 			}
-			// Contexts beyond the SMT level hold no thread.
-			for ci := core.active; ci < len(core.contexts); ci++ {
-				core.contexts[ci].reset(nil)
-			}
+		}
+		// Contexts beyond the SMT level hold no thread.
+		for ci := core.active; ci < len(core.contexts); ci++ {
+			core.contexts[ci].reset(nil)
 		}
 	}
 
-	remaining := len(sources)
+	deadline := m.now + maxCycles
+	if m.engine == EngineScan {
+		return m.runScan(ctx, len(sources), deadline)
+	}
+	return m.runEvent(ctx, len(sources), deadline)
+}
+
+// runScan is the reference run loop: it steps every core on every simulated
+// cycle. The event engine (engine.go) must stay bit-identical to it.
+func (m *Machine) runScan(ctx context.Context, remaining int, deadline int64) (int64, error) {
 	start := m.now
-	deadline := start + maxCycles
 	nextCheck := start + ctxCheckInterval
 	for remaining > 0 {
 		if m.now >= deadline {
@@ -223,16 +271,14 @@ func (m *Machine) RunContext(ctx context.Context, sources []isa.Source, maxCycle
 			}
 		}
 		busy := false
-		for _, chip := range m.chips {
-			for _, core := range chip.cores {
-				core.stepRetire(m.now)
-				core.stepIssue(m.now)
-				core.stepDispatch(m.now)
-				core.stepFetch(m.now)
-				remaining -= core.endCycle(m.now)
-				if !busy && core.anyBusy() {
-					busy = true
-				}
+		for _, core := range m.cores {
+			core.stepRetire(m.now)
+			core.stepIssue(m.now)
+			core.stepDispatch(m.now)
+			core.stepFetch(m.now)
+			remaining -= core.endCycle(m.now)
+			if !busy && core.anyBusy() {
+				busy = true
 			}
 		}
 		if remaining == 0 {
@@ -240,8 +286,21 @@ func (m *Machine) RunContext(ctx context.Context, sources []isa.Source, maxCycle
 			break
 		}
 		if !busy {
-			// Everyone is asleep: skip to the earliest wake hint.
-			m.now = m.idleSkip(m.now, deadline)
+			// Everyone is asleep: skip ahead. A frozen jump (all threads
+			// sleeping on wake hints) replays idleSkip's historical
+			// semantics — the clock moves, nothing steps. Otherwise some
+			// thread is in a self-resolving hardware stall, so the skipped
+			// cycles are stepped-equivalent no-ops and their per-cycle
+			// bookkeeping is applied explicitly.
+			next, frozen := m.idleNext(m.now, deadline)
+			if !frozen {
+				if k := next - m.now - 1; k > 0 {
+					for _, core := range m.cores {
+						core.fastForward(m.now, k)
+					}
+				}
+			}
+			m.now = next
 			continue
 		}
 		m.now++
@@ -249,33 +308,53 @@ func (m *Machine) RunContext(ctx context.Context, sources []isa.Source, maxCycle
 	return m.now - start, nil
 }
 
-// idleSkip advances the clock past a fully idle stretch using the sources'
-// wake hints; without hints it advances one cycle.
-func (m *Machine) idleSkip(now, deadline int64) int64 {
-	next := int64(-1)
-	for _, ctx := range m.threadCtx {
-		if ctx == nil || ctx.finished || ctx.src == nil {
+// idleNext computes where the clock can jump when every context is idle,
+// and whether the jump is "frozen" (pure sleep: no per-cycle bookkeeping
+// accrues, as with the historical idleSkip) or stepped-equivalent. Sleeping
+// sources contribute their wake hints; a source with no hint only pins
+// *its own* readiness to the next cycle rather than degrading the whole
+// machine to 1-cycle stepping; fetch-stalled contexts contribute their
+// redirect-stall expiry.
+func (m *Machine) idleNext(now, deadline int64) (int64, bool) {
+	next := int64(neverEvent)
+	frozen := true
+	for _, cc := range m.threadCtx {
+		if cc == nil || cc.finished || cc.src == nil {
 			continue
 		}
-		w, ok := ctx.src.(Waker)
-		if !ok {
-			return now + 1
+		var r int64
+		switch {
+		case cc.sawIdleThisCycle:
+			// Probed idle this cycle: sleep until the wake hint (next
+			// cycle when the source offers none).
+			r = now + 1
+			if cc.waker != nil {
+				if h := cc.waker.WakeHint(now); h > r {
+					r = h
+				}
+			}
+		case now < cc.fetchStallUntil:
+			// Mispredict redirect: fetch resumes by itself, and the
+			// thread stays busy (it is executing, not sleeping).
+			r = cc.fetchStallUntil
+			frozen = false
+		default:
+			// Runnable but not probed this cycle (fetch arbitration):
+			// step again next cycle.
+			r = now + 1
+			frozen = false
 		}
-		h := w.WakeHint(now)
-		if h <= now {
-			return now + 1
-		}
-		if next < 0 || h < next {
-			next = h
+		if r < next {
+			next = r
 		}
 	}
-	if next < 0 || next <= now {
-		return now + 1
+	if next <= now {
+		next = now + 1
 	}
 	if next > deadline {
 		next = deadline
 	}
-	return next
+	return next, frozen
 }
 
 // Now returns the machine clock.

@@ -45,6 +45,10 @@ type prefetcher struct {
 	streamRR int
 	inflight [pfInflight]pfLine
 	inflRR   int
+	// live counts valid inflight entries, so lookup — on the hot path of
+	// every L1 miss — skips the buffer scan entirely for workloads that
+	// never train a stream (random or compute-bound access patterns).
+	live int
 
 	// Issued and Useful count prefetches sent and prefetched lines that
 	// served a demand access.
@@ -57,12 +61,21 @@ func (p *prefetcher) reset() {
 
 // lookup finds an in-flight prefetch for line, returning its buffer slot.
 func (p *prefetcher) lookup(line uint64) int {
+	if p.live == 0 {
+		return -1
+	}
 	for i := range p.inflight {
 		if p.inflight[i].valid && p.inflight[i].line == line {
 			return i
 		}
 	}
 	return -1
+}
+
+// drop invalidates an in-flight entry after a demand access consumed it.
+func (p *prefetcher) drop(i int) {
+	p.inflight[i].valid = false
+	p.live--
 }
 
 // note records a demand L1 miss for stream detection and returns whether
@@ -91,6 +104,9 @@ func (p *prefetcher) note(line uint64) bool {
 
 // park records an in-flight prefetched line.
 func (p *prefetcher) park(line uint64, readyAt int64, shared bool) {
+	if !p.inflight[p.inflRR].valid {
+		p.live++
+	}
 	p.inflight[p.inflRR] = pfLine{line: line, readyAt: readyAt, valid: true, shared: shared}
 	p.inflRR = (p.inflRR + 1) % pfInflight
 	p.Issued++

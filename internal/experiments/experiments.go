@@ -89,6 +89,10 @@ type Matrix struct {
 	cells map[string]*cellEntry
 	// archDesc is a cached description for metric evaluation.
 	archDesc *arch.Desc
+	// pool recycles simulated machines across cells. A pooled machine is
+	// scrubbed to freshly-constructed state by Get, so cell results stay
+	// bit-identical to the fresh-machine-per-cell behavior.
+	pool *cpu.Pool
 }
 
 // cellEntry is the singleflight slot for one (bench, smt) cell: the first
@@ -101,7 +105,13 @@ type cellEntry struct {
 
 // NewMatrix builds an empty run matrix for a system.
 func NewMatrix(sys System, seed uint64) *Matrix {
-	return &Matrix{Sys: sys, Seed: seed, cells: map[string]*cellEntry{}, archDesc: sys.Arch()}
+	return &Matrix{
+		Sys:      sys,
+		Seed:     seed,
+		cells:    map[string]*cellEntry{},
+		archDesc: sys.Arch(),
+		pool:     cpu.NewPool(0),
+	}
 }
 
 // Arch returns the system's architecture description.
@@ -183,7 +193,8 @@ func (m *Matrix) Cached() []*Cell {
 	return out
 }
 
-// run executes one cell: a fresh machine, cold caches, the workload
+// run executes one cell: a fresh-state machine (pooled, scrubbed by Get to
+// cold caches and zeroed counters), the workload
 // instantiated with one software thread per hardware thread (the paper's
 // methodology), run to completion.
 func (m *Matrix) run(ctx context.Context, bench string, smt int) *Cell {
@@ -193,11 +204,12 @@ func (m *Matrix) run(ctx context.Context, bench string, smt int) *Cell {
 		c.Err = err
 		return c
 	}
-	mach, err := cpu.NewMachine(m.Sys.Arch(), m.Sys.Chips)
+	mach, err := m.pool.Get(m.Sys.Arch(), m.Sys.Chips)
 	if err != nil {
 		c.Err = err
 		return c
 	}
+	defer m.pool.Put(mach)
 	if err := mach.SetSMTLevel(smt); err != nil {
 		c.Err = err
 		return c

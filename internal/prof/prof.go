@@ -1,0 +1,94 @@
+// Package prof wires Go's runtime profilers into command-line tools with an
+// error-returning API (the commands own process exit; this package never
+// does). It backs the -cpuprofile and -memprofile flags on cmd/experiments
+// and cmd/smtsim, producing files for `go tool pprof`.
+package prof
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler holds the open profile destinations between Start and Stop.
+// The zero value (and a nil *Profiler) is inert: Stop is a no-op, so
+// callers need no special case when no profile flag was given.
+type Profiler struct {
+	cpu *os.File
+	mem *os.File
+}
+
+// Start validates both profile paths by creating the files immediately —
+// a typo fails fast, before hours of simulation — and begins the CPU
+// profile when cpuPath is non-empty. Either path may be empty to skip that
+// profile; with both empty Start returns a nil Profiler whose Stop is a
+// no-op. On error, anything already opened is cleaned up.
+func Start(cpuPath, memPath string) (*Profiler, error) {
+	if cpuPath == "" && memPath == "" {
+		return nil, nil
+	}
+	p := &Profiler{}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			//lint:ignore errlint best-effort cleanup; the StartCPUProfile error is what matters
+			_ = f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		p.cpu = f
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			p.abortCPU()
+			return nil, fmt.Errorf("mem profile: %w", err)
+		}
+		p.mem = f
+	}
+	return p, nil
+}
+
+// abortCPU tears down an in-progress CPU profile on a Start failure.
+func (p *Profiler) abortCPU() {
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		//lint:ignore errlint best-effort cleanup of a profile Start already failed
+		_ = p.cpu.Close()
+		p.cpu = nil
+	}
+}
+
+// Stop finishes the CPU profile and writes the heap profile (after a GC, so
+// the allocs-in-use numbers reflect live memory, not collection timing).
+// Safe on a nil Profiler. Errors from both profiles are joined so a broken
+// disk on one does not silently eat the other.
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var errs []error
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("cpu profile: %w", err))
+		}
+		p.cpu = nil
+	}
+	if p.mem != nil {
+		runtime.GC()
+		err := pprof.Lookup("allocs").WriteTo(p.mem, 0)
+		if cerr := p.mem.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("mem profile: %w", err))
+		}
+		p.mem = nil
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,74 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartStopWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	p, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1<<20; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s: empty profile", path)
+		}
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+func TestStartEmptyIsInert(t *testing.T) {
+	p, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		t.Fatal("want nil Profiler for no profile paths")
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatalf("nil Stop: %v", err)
+	}
+}
+
+func TestStartBadPathFailsFast(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "cpu.out")
+	if _, err := Start(bad, ""); err == nil {
+		t.Fatal("want error for unwritable cpu profile path")
+	}
+	if _, err := Start("", bad); err == nil {
+		t.Fatal("want error for unwritable mem profile path")
+	}
+	// A mem failure must tear down the already-started CPU profile so a
+	// later Start can succeed.
+	good := filepath.Join(t.TempDir(), "cpu.out")
+	if _, err := Start(good, bad); err == nil {
+		t.Fatal("want error for unwritable mem profile path with cpu set")
+	}
+	p, err := Start(good, "")
+	if err != nil {
+		t.Fatalf("cpu profile did not recover from aborted Start: %v", err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/controller"
+	"repro/internal/cpu"
 	"repro/internal/workload"
 )
 
@@ -129,6 +130,7 @@ type Server struct {
 	met         *metrics
 	mux         *http.ServeMux
 	probe       probeFunc
+	pool        *cpu.Pool
 	draining    atomic.Bool
 	logMu       sync.Mutex
 }
@@ -149,7 +151,12 @@ func New(cfg Config) (*Server, error) {
 		lim:         newLimiter(cfg.Workers, cfg.QueueDepth),
 		cache:       newLRUCache(cfg.CacheSize),
 		met:         newMetrics(),
-		probe:       controller.Probe,
+		// At most Workers probes run at once, so Workers machines per
+		// (arch, chips) key covers the steady state.
+		pool: cpu.NewPool(cfg.Workers),
+	}
+	s.probe = func(ctx context.Context, d *arch.Desc, chips int, spec *workload.Spec, seed uint64) (controller.ProbeResult, error) {
+		return controller.ProbeWith(ctx, s.pool, d, chips, spec, seed)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Run the engine benchmark grid and maintain the benchmark-trajectory
+# artifact (BENCH_PR4.json).
+#
+# Usage:
+#   scripts/bench.sh            # run grid, gate against checked-in baseline
+#   scripts/bench.sh refresh    # run grid, rewrite BENCH_PR4.json
+#
+# The gate compares hardware-neutral event/scan speedup ratios (both
+# engines measured in the same run), so it holds on any machine; absolute
+# Mcycles/s numbers are recorded in the artifact as the trajectory.
+set -eu
+
+mode=${1:-gate}
+baseline="BENCH_PR4.json"
+out="$(mktemp -d)/bench.out"
+
+echo "==> benchmark grid (engines x workloads x SMT levels)"
+go test -run '^$' -bench 'BenchmarkEngine|BenchmarkSteadyState' \
+	-benchtime 2x -count 1 -timeout 40m ./internal/cpu | tee "$out"
+
+case "$mode" in
+refresh)
+	echo "==> rewriting $baseline"
+	go run ./scripts/benchgate emit "$out" >"$baseline"
+	echo "wrote $baseline"
+	;;
+gate)
+	echo "==> gating against $baseline"
+	go run ./scripts/benchgate check "$baseline" "$out"
+	;;
+*)
+	echo "usage: scripts/bench.sh [refresh]" >&2
+	exit 2
+	;;
+esac

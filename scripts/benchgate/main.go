@@ -1,0 +1,309 @@
+// Command benchgate turns `go test -bench` output into the canonical
+// benchmark-trajectory artifact (BENCH_PR4.json) and enforces the
+// performance gate in CI.
+//
+// Usage:
+//
+//	benchgate emit  <bench-output-file>                  # canonical JSON on stdout
+//	benchgate check <baseline.json> <bench-output-file>  # exit 1 on regression
+//
+// The gate is hardware-neutral: it compares the event/scan speedup ratios
+// (both engines measured in the same process on the same host), not
+// absolute throughput, so it is meaningful on any CI machine. check fails
+// when
+//
+//   - a ratio cell regresses more than 20% below the checked-in baseline,
+//   - the baseline's memory-bound headline ratio is below the 2.0 floor
+//     (the artifact property this PR claims), or
+//   - the steady-state run path allocates.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ratioTolerance is how far a ratio cell may fall below baseline: 20%.
+const ratioTolerance = 0.8
+
+// memoryBoundFloor is the minimum event/scan speedup the baseline must
+// show on its best memory-bound cell.
+const memoryBoundFloor = 2.0
+
+// memBenches are the workload-library benchmarks the floor applies to.
+var memBenches = map[string]bool{"CG": true, "Canneal": true}
+
+// Cell is one benchmark's measurements. Engine cells carry both engines'
+// throughput (measured interleaved in one benchmark) and their ratio; the
+// steady-state cell carries only the event-engine throughput.
+type Cell struct {
+	NsPerOp         float64 `json:"ns_per_op"`
+	McyclesPerS     float64 `json:"mcycles_per_sec"`
+	ScanMcyclesPerS float64 `json:"scan_mcycles_per_sec,omitempty"`
+	EventOverScan   float64 `json:"event_over_scan,omitempty"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	BytesPerOp      float64 `json:"bytes_per_op"`
+	HostCPUModel    string  `json:"host_cpu,omitempty"`
+}
+
+// Artifact is the canonical trajectory document.
+type Artifact struct {
+	Schema string `json:"schema"`
+	// Cells maps "bench/smtN" (and "steady") to measurements.
+	Cells map[string]Cell `json:"cells"`
+	// Ratios maps "bench/smtN" to the event/scan Mcycles/s ratio, as
+	// measured inside one interleaved benchmark.
+	Ratios map[string]float64 `json:"ratios"`
+	// Headline names the best memory-bound ratio cell and its value.
+	Headline struct {
+		Cell  string  `json:"cell"`
+		Ratio float64 `json:"ratio"`
+	} `json:"headline"`
+	// SteadyStateAllocs is allocs/op on the steady-state run path.
+	SteadyStateAllocs float64 `json:"steady_state_allocs_per_op"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "emit":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		art, err := parseBenchFile(os.Args[2])
+		if err != nil {
+			fail(err)
+		}
+		out, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if _, err := fmt.Println(string(out)); err != nil {
+			fail(err)
+		}
+	case "check":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		base, err := readArtifact(os.Args[2])
+		if err != nil {
+			fail(err)
+		}
+		cur, err := parseBenchFile(os.Args[3])
+		if err != nil {
+			fail(err)
+		}
+		if errs := gate(base, cur); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "benchgate: FAIL:", e)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: ok (%d ratio cells within %.0f%% of baseline; headline %s %.2fx; steady-state allocs %.0f)\n",
+			len(cur.Ratios), (1-ratioTolerance)*100, cur.Headline.Cell, cur.Headline.Ratio, cur.SteadyStateAllocs)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchgate emit <bench-output> | benchgate check <baseline.json> <bench-output>")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}
+
+func readArtifact(path string) (*Artifact, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	art := &Artifact{}
+	if err := json.Unmarshal(raw, art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return art, nil
+}
+
+// parseBenchFile reads `go test -bench` output and assembles the artifact.
+func parseBenchFile(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	art := &Artifact{
+		Schema: "smt-bench-trajectory/v1",
+		Cells:  map[string]Cell{},
+		Ratios: map[string]float64{},
+	}
+	cpuModel := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if model, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpuModel = model
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, cell, err := parseBenchLine(line)
+		if err != nil {
+			closeAndWrap(f)
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if name == "" {
+			continue
+		}
+		cell.HostCPUModel = cpuModel
+		art.Cells[name] = cell
+	}
+	if err := sc.Err(); err != nil {
+		closeAndWrap(f)
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if len(art.Cells) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	fillDerived(art)
+	return art, nil
+}
+
+// closeAndWrap closes f on an error path; the original error wins.
+func closeAndWrap(f *os.File) {
+	//lint:ignore errlint error-path cleanup: the parse error is what matters
+	_ = f.Close()
+}
+
+// parseBenchLine extracts one benchmark result. Only BenchmarkEngine and
+// BenchmarkSteadyState lines map to cells; others return an empty name.
+func parseBenchLine(line string) (string, Cell, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return "", Cell{}, fmt.Errorf("short benchmark line: %q", line)
+	}
+	full := trimProcSuffix(fields[0])
+	var name string
+	switch {
+	case strings.HasPrefix(full, "BenchmarkEngine/"):
+		name = strings.TrimPrefix(full, "BenchmarkEngine/")
+	case strings.HasPrefix(full, "BenchmarkSteadyState"):
+		name = "steady"
+	default:
+		return "", Cell{}, nil
+	}
+	cell := Cell{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Cell{}, fmt.Errorf("bad value %q in %q", fields[i], line)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			cell.NsPerOp = v
+		case "Mcycles/s":
+			cell.McyclesPerS = v
+		case "scanMcycles/s":
+			cell.ScanMcyclesPerS = v
+		case "ratio":
+			cell.EventOverScan = v
+		case "allocs/op":
+			cell.AllocsPerOp = v
+		case "B/op":
+			cell.BytesPerOp = v
+		}
+	}
+	if cell.McyclesPerS == 0 {
+		return "", Cell{}, fmt.Errorf("no Mcycles/s metric in %q", line)
+	}
+	return name, cell, nil
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix Go appends to benchmark names.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// fillDerived collects the event/scan ratios, the memory-bound headline,
+// and the steady-state allocation figure from the raw cells.
+func fillDerived(art *Artifact) {
+	for name, c := range art.Cells {
+		if name == "steady" || c.EventOverScan == 0 {
+			continue
+		}
+		art.Ratios[name] = c.EventOverScan
+	}
+	best, bestCell := 0.0, ""
+	for rest, r := range art.Ratios {
+		bench := rest
+		if i := strings.Index(rest, "/"); i >= 0 {
+			bench = rest[:i]
+		}
+		if !memBenches[bench] {
+			continue
+		}
+		// Ties resolve to the lexically smallest cell for determinism.
+		if r > best || (r == best && (bestCell == "" || rest < bestCell)) {
+			best, bestCell = r, rest
+		}
+	}
+	art.Headline.Cell = bestCell
+	art.Headline.Ratio = best
+	if s, ok := art.Cells["steady"]; ok {
+		art.SteadyStateAllocs = s.AllocsPerOp
+	}
+}
+
+// gate returns every rule the current run violates against the baseline.
+func gate(base, cur *Artifact) []string {
+	var errs []string
+	if base.Headline.Ratio < memoryBoundFloor {
+		errs = append(errs, fmt.Sprintf(
+			"baseline headline %s is %.2fx, below the %.1fx memory-bound floor — regenerate the baseline from a faster engine, don't lower the floor",
+			base.Headline.Cell, base.Headline.Ratio, memoryBoundFloor))
+	}
+	keys := make([]string, 0, len(base.Ratios))
+	for k := range base.Ratios {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := base.Ratios[k]
+		c, ok := cur.Ratios[k]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("ratio cell %s missing from current run", k))
+			continue
+		}
+		if c < b*ratioTolerance {
+			errs = append(errs, fmt.Sprintf(
+				"ratio %s regressed: %.2fx vs baseline %.2fx (>20%% drop)", k, c, b))
+		}
+	}
+	if _, ok := cur.Cells["steady"]; !ok {
+		errs = append(errs, "steady-state cell missing from current run")
+	} else if cur.SteadyStateAllocs != 0 {
+		errs = append(errs, fmt.Sprintf(
+			"steady-state run path allocates: %.1f allocs/op, want 0", cur.SteadyStateAllocs))
+	}
+	return errs
+}

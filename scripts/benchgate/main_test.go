@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/cpu
+cpu: Example CPU @ 2.70GHz
+BenchmarkEngine/EP/smt1-8 	       2	3151113085 ns/op	         0.2250 Mcycles/s	         0.2300 scanMcycles/s	         0.9783 ratio	      32 B/op	       0 allocs/op
+BenchmarkEngine/CG/smt4-8 	       2	1118610114 ns/op	         1.129 Mcycles/s	         0.5328 scanMcycles/s	         2.119 ratio	     128 B/op	       0 allocs/op
+BenchmarkSteadyState-8    	      43	  25944670 ns/op	         5.396 Mcycles/s	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/cpu	110.357s
+`
+
+func writeSample(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.out")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchFile(t *testing.T) {
+	art, err := parseBenchFile(writeSample(t, sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Cells) != 3 {
+		t.Fatalf("parsed %d cells, want 3", len(art.Cells))
+	}
+	cg := art.Cells["CG/smt4"]
+	if cg.McyclesPerS != 1.129 || cg.ScanMcyclesPerS != 0.5328 || cg.EventOverScan != 2.119 {
+		t.Fatalf("CG/smt4 cell = %+v", cg)
+	}
+	if cg.HostCPUModel != "Example CPU @ 2.70GHz" {
+		t.Fatalf("host cpu = %q", cg.HostCPUModel)
+	}
+	if art.Ratios["CG/smt4"] != 2.119 || art.Ratios["EP/smt1"] != 0.9783 {
+		t.Fatalf("ratios = %+v", art.Ratios)
+	}
+	if art.Headline.Cell != "CG/smt4" || art.Headline.Ratio != 2.119 {
+		t.Fatalf("headline = %+v", art.Headline)
+	}
+	if art.SteadyStateAllocs != 0 {
+		t.Fatalf("steady allocs = %v", art.SteadyStateAllocs)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base, err := parseBenchFile(writeSample(t, sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := parseBenchFile(writeSample(t, sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := gate(base, cur); len(errs) != 0 {
+		t.Fatalf("identical runs should pass, got %v", errs)
+	}
+
+	// A >20% ratio drop fails.
+	regressed := cur.Cells["CG/smt4"]
+	regressed.EventOverScan = 1.5
+	cur.Cells["CG/smt4"] = regressed
+	cur.Ratios["CG/smt4"] = 1.5
+	if errs := gate(base, cur); len(errs) != 1 {
+		t.Fatalf("regressed ratio should fail once, got %v", errs)
+	}
+	cur.Ratios["CG/smt4"] = 2.119
+
+	// A missing cell fails.
+	delete(cur.Ratios, "EP/smt1")
+	if errs := gate(base, cur); len(errs) != 1 {
+		t.Fatalf("missing cell should fail once, got %v", errs)
+	}
+	cur.Ratios["EP/smt1"] = 0.9783
+
+	// Steady-state allocations fail.
+	cur.SteadyStateAllocs = 2
+	if errs := gate(base, cur); len(errs) != 1 {
+		t.Fatalf("steady-state allocs should fail once, got %v", errs)
+	}
+	cur.SteadyStateAllocs = 0
+
+	// A baseline below the memory-bound floor fails regardless of current.
+	base.Headline.Ratio = 1.8
+	if errs := gate(base, cur); len(errs) != 1 {
+		t.Fatalf("weak baseline should fail once, got %v", errs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := parseBenchFile(writeSample(t, "PASS\nok x 1s\n")); err == nil {
+		t.Fatal("want error for output without benchmark lines")
+	}
+	bad := "BenchmarkEngine/CG/smt4-8 2 oops ns/op 1.0 Mcycles/s\n"
+	if _, err := parseBenchFile(writeSample(t, bad)); err == nil {
+		t.Fatal("want error for malformed value")
+	}
+	noMetric := "BenchmarkEngine/CG/smt4-8 2 100 ns/op\n"
+	if _, err := parseBenchFile(writeSample(t, noMetric)); err == nil {
+		t.Fatal("want error for missing Mcycles/s metric")
+	}
+}

@@ -35,6 +35,9 @@ go test -count=1 ./...
 step "bench smoke"
 go test -run '^$' -bench . -benchtime=1x ./...
 
+step "bench trajectory gate"
+scripts/bench.sh
+
 step "smtservd smoke"
 bin="$(mktemp -d)/smtservd"
 go build -o "$bin" ./cmd/smtservd
