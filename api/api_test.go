@@ -1,0 +1,119 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRecommendationWireFormat pins the exact serialized bytes of the v1
+// recommendation. This is the versioning contract made executable: any
+// rename, reorder or type change of an existing field breaks this test and
+// must instead ship as /v2.
+func TestRecommendationWireFormat(t *testing.T) {
+	rec := Recommendation{
+		Arch:             "power7",
+		MeasuredLevel:    4,
+		RecommendedLevel: 2,
+		LowerSMT:         true,
+		Threshold:        0.21,
+		Metric:           0.5,
+		MixDeviation:     0.1,
+		DispHeld:         0.2,
+		Scalability:      1.5,
+		Terms:            []Term{{Name: "load", Observed: 0.25, Ideal: 0.125}},
+		WallCycles:       100,
+		Bench:            "EP",
+		Fingerprint:      "00000000000000ab",
+	}
+	got, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"arch":"power7","measuredLevel":4,"recommendedLevel":2,` +
+		`"lowerSMT":true,"threshold":0.21,"metric":0.5,"mixDeviation":0.1,` +
+		`"dispHeld":0.2,"scalability":1.5,` +
+		`"terms":[{"name":"load","observed":0.25,"ideal":0.125}],` +
+		`"wallCycles":100,"bench":"EP","fingerprint":"00000000000000ab",` +
+		`"cached":false}`
+	if string(got) != want {
+		t.Errorf("recommendation wire format drifted:\n got %s\nwant %s", got, want)
+	}
+
+	// The degradation marker and warning are additive omitempty fields:
+	// absent above, present only on degraded answers.
+	rec.Degraded = true
+	rec.Warning = "stale"
+	got, err = json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"arch":"power7","measuredLevel":4,"recommendedLevel":2,` +
+		`"lowerSMT":true,"threshold":0.21,"metric":0.5,"mixDeviation":0.1,` +
+		`"dispHeld":0.2,"scalability":1.5,` +
+		`"terms":[{"name":"load","observed":0.25,"ideal":0.125}],` +
+		`"wallCycles":100,"bench":"EP","warning":"stale",` +
+		`"fingerprint":"00000000000000ab","cached":false,"degraded":true}`
+	if string(got) != want {
+		t.Errorf("degraded wire format drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestErrorWireFormat pins the error envelope: message under "error" (the
+// pre-v1.1 key, kept for compatibility) plus the machine-readable "code".
+// Status and RetryAfter are client-side annotations and never serialize.
+func TestErrorWireFormat(t *testing.T) {
+	e := Error{Message: "worker queue full, retry later", Code: CodeRateLimited,
+		Status: 429, RetryAfter: 1}
+	got, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"error":"worker queue full, retry later","code":"rate_limited"}`
+	if string(got) != want {
+		t.Errorf("error envelope drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestErrorRetryable(t *testing.T) {
+	cases := []struct {
+		e    Error
+		want bool
+	}{
+		{Error{Code: CodeRateLimited}, true},
+		{Error{Code: CodeQueueTimeout}, true},
+		{Error{Code: CodeProbeTimeout}, true},
+		{Error{Code: CodeBreakerOpen}, true},
+		{Error{Code: CodeBadRequest, Status: 400}, false},
+		{Error{Code: CodeProbeFailed, Status: 500}, false},
+		{Error{Code: CodeInternal, Status: 500}, false},
+		// Unknown codes fall back to the status class.
+		{Error{Code: "future_code", Status: 503}, true},
+		{Error{Code: "future_code", Status: 418}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.e.Retryable(); got != tc.want {
+			t.Errorf("Retryable(%+v) = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+// TestRequestRoundTrip checks the request types survive a marshal/unmarshal
+// cycle with strict decoding — the same DisallowUnknownFields the server
+// applies.
+func TestRequestRoundTrip(t *testing.T) {
+	in := AnalyzeRequest{Arch: "nehalem", Chips: 2, Bench: "EP", Seed: 7, Threshold: 0.3}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out AnalyzeRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("analyze round trip: got %+v, want %+v", out, in)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/server"
 )
 
@@ -38,6 +39,10 @@ func main() {
 		queue        = flag.Int("queue", 0, "max requests waiting for a worker before 429 (0 = 2x workers)")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request budget")
 		cacheSize    = flag.Int("cache", 1024, "recommendation-cache entries (negative disables)")
+		cacheTTL     = flag.Duration("cache-ttl", 0, "freshness window for cached recommendations; stale entries are revalidated, and served marked degraded only when revalidation fails (0 = never stale)")
+		brkThresh    = flag.Int("breaker-threshold", 5, "consecutive probe failures that open the probe circuit breaker (negative disables)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 10*time.Second, "open-breaker wait before a half-open trial probe")
+		faultsPath   = flag.String("faults", "", "fault-injection schedule JSON for chaos testing (see internal/fault)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		quiet        = flag.Bool("quiet", false, "suppress the JSON access log")
 	)
@@ -52,13 +57,26 @@ func main() {
 	}
 
 	cfg := server.Config{
-		Arch:           *archName,
-		Chips:          *chips,
-		Threshold:      *thresh,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		CacheSize:      *cacheSize,
+		Arch:             *archName,
+		Chips:            *chips,
+		Threshold:        *thresh,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		RequestTimeout:   *timeout,
+		CacheSize:        *cacheSize,
+		CacheTTL:         *cacheTTL,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+	}
+	if *faultsPath != "" {
+		sched, err := fault.LoadSchedule(*faultsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smtservd: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Faults = fault.NewInjector(sched)
+		fmt.Fprintf(os.Stderr, "smtservd: CHAOS MODE: injecting faults from %s (seed %d, %d rules)\n",
+			*faultsPath, sched.Seed, len(sched.Rules))
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stdout

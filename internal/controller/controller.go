@@ -206,8 +206,15 @@ type ProbeResult struct {
 // level at which the paper shows the metric is trustworthy — under ctx, and
 // returns the counter snapshot and metric breakdown. The context is polled
 // cooperatively by the simulator, so a caller can bound the probe with a
-// deadline or cancel it when a client disconnects; on cancellation the
-// context's error is returned.
+// deadline or cancel it when a client disconnects.
+//
+// Cancellation mirrors cpu.Machine.RunContext: alongside the context's
+// error, Probe returns the PARTIAL result measured up to the interruption
+// — the wall cycles simulated so far, the counter snapshot at that point,
+// and the metric computed over it — instead of discarding completed work.
+// Callers that can tolerate an approximate answer (the advisor's degraded
+// path) inspect the partial snapshot; callers that cannot simply honour
+// the error.
 func Probe(ctx context.Context, d *arch.Desc, chips int, spec *workload.Spec, seed uint64) (ProbeResult, error) {
 	return ProbeWith(ctx, nil, d, chips, spec, seed)
 }
@@ -241,13 +248,16 @@ func ProbeWith(ctx context.Context, pool *cpu.Pool, d *arch.Desc, chips int, spe
 		return ProbeResult{}, err
 	}
 	wall, err := m.RunContext(ctx, inst.Sources(), 0)
-	if err != nil {
-		return ProbeResult{}, fmt.Errorf("probe %s@SMT%d: %w", spec.Name, m.SMTLevel(), err)
-	}
 	snap := m.Counters()
-	return ProbeResult{
+	res := ProbeResult{
 		WallCycles: wall,
 		Snapshot:   snap,
 		Metric:     smtsm.Compute(d, &snap),
-	}, nil
+	}
+	if err != nil {
+		// RunContext already reported the cycles completed before the
+		// interruption; hand the partial observation up with the error.
+		return res, fmt.Errorf("probe %s@SMT%d: %w", spec.Name, m.SMTLevel(), err)
+	}
+	return res, nil
 }

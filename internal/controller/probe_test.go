@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/cpu"
@@ -54,6 +55,35 @@ func TestProbeHonoursCancellation(t *testing.T) {
 	_, err := Probe(ctx, arch.POWER7(), 1, tinySpec(), 42)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestProbeReturnsPartialResult: a probe cut off mid-run hands back the
+// interval data completed so far — wall cycles, snapshot, metric — next to
+// the context error, mirroring cpu.Machine.RunContext semantics.
+func TestProbeReturnsPartialResult(t *testing.T) {
+	spec := tinySpec()
+	spec.TotalWork = 500_000_000 // far more than the deadline allows
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	res, err := Probe(ctx, arch.POWER7(), 1, spec, 42)
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, cpu.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if res.WallCycles <= 0 {
+		t.Fatalf("partial wall cycles %d, want > 0", res.WallCycles)
+	}
+	if res.Snapshot.Retired == 0 {
+		t.Fatal("partial snapshot retired no instructions")
+	}
+	if res.Snapshot.WallCycles != res.WallCycles {
+		t.Fatalf("snapshot wall %d != returned wall %d", res.Snapshot.WallCycles, res.WallCycles)
+	}
+	if !res.Metric.Finite() {
+		t.Fatalf("partial metric not finite: %+v", res.Metric)
 	}
 }
 

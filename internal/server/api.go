@@ -9,82 +9,28 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/api"
 	"repro/internal/arch"
-	"repro/internal/counters"
+	"repro/internal/controller"
 	"repro/internal/cpu"
 	"repro/internal/smtsm"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
 
-// MetricRequest scores a counter snapshot the client measured itself — the
-// PMU-sampling path of an online optimizer. The snapshot should be an
-// interval delta captured at the architecture's maximum SMT level (the only
-// level at which the paper shows the metric is trustworthy).
-type MetricRequest struct {
-	// Arch names the architecture ("power7", "nehalem", "smt8"); empty
-	// uses the server default.
-	Arch string `json:"arch,omitempty"`
-	// Threshold overrides the server's decision threshold when > 0.
-	Threshold float64 `json:"threshold,omitempty"`
-	// Snapshot is the counter observation to score.
-	Snapshot counters.Snapshot `json:"snapshot"`
-}
-
-// AnalyzeRequest asks the server to probe a described workload on the
-// simulated machine and recommend an SMT level for it. Exactly one of
-// Bench (a built-in Table-I benchmark name) or Spec (an inline custom
-// workload) must be set.
-type AnalyzeRequest struct {
-	Arch      string         `json:"arch,omitempty"`
-	Chips     int            `json:"chips,omitempty"`
-	Bench     string         `json:"bench,omitempty"`
-	Spec      *workload.Spec `json:"spec,omitempty"`
-	Seed      uint64         `json:"seed,omitempty"`
-	Threshold float64        `json:"threshold,omitempty"`
-}
-
-// Term is one observed mix-term fraction against its architectural ideal.
-type Term struct {
-	Name     string  `json:"name"`
-	Observed float64 `json:"observed"`
-	Ideal    float64 `json:"ideal"`
-}
-
-// Recommendation is the advisor's answer: the decision plus the full
-// metric breakdown behind it.
-type Recommendation struct {
-	Arch string `json:"arch"`
-	// MeasuredLevel is the SMT level the observation was taken at (for
-	// analyze probes, always the architecture's maximum).
-	MeasuredLevel int `json:"measuredLevel"`
-	// RecommendedLevel is the advised SMT level: one exposed level below
-	// MeasuredLevel when the metric exceeds the threshold, otherwise
-	// MeasuredLevel itself.
-	RecommendedLevel int `json:"recommendedLevel"`
-	// LowerSMT is the paper's decision bit: metric > threshold.
-	LowerSMT  bool    `json:"lowerSMT"`
-	Threshold float64 `json:"threshold"`
-
-	Metric       float64 `json:"metric"`
-	MixDeviation float64 `json:"mixDeviation"`
-	DispHeld     float64 `json:"dispHeld"`
-	Scalability  float64 `json:"scalability"`
-	Terms        []Term  `json:"terms"`
-
-	// WallCycles and Bench are set on analyze responses.
-	WallCycles int64  `json:"wallCycles,omitempty"`
-	Bench      string `json:"bench,omitempty"`
-
-	// Warning flags observations the metric cannot be trusted on (a
-	// snapshot measured below the maximum SMT level — paper Figs. 11-12).
-	Warning string `json:"warning,omitempty"`
-	// Fingerprint is the canonical identity of the scored observation, for
-	// client-side correlation with the cache.
-	Fingerprint string `json:"fingerprint"`
-	// Cached reports that the recommendation was served from the LRU.
-	Cached bool `json:"cached"`
-}
+// The wire types live in the public api package — the versioned contract
+// both this server and the repro/client package compile against. The
+// aliases keep the server's internal code and tests reading naturally.
+type (
+	// MetricRequest is api.MetricRequest.
+	MetricRequest = api.MetricRequest
+	// AnalyzeRequest is api.AnalyzeRequest.
+	AnalyzeRequest = api.AnalyzeRequest
+	// Term is api.Term.
+	Term = api.Term
+	// Recommendation is api.Recommendation.
+	Recommendation = api.Recommendation
+)
 
 // reqArch resolves the request architecture, falling back to the server
 // default.
@@ -151,27 +97,31 @@ func decodeJSON(r *http.Request, v any) error {
 func (s *Server) handleMetric(w http.ResponseWriter, r *http.Request) {
 	var req MetricRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad metric request: %v", err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad metric request: %v", err)
 		return
 	}
 	d, err := s.reqArch(req.Arch)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
 	th, err := s.reqThreshold(req.Threshold)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
 	key := fmt.Sprintf("metric|%s|%016x|%016x", d.Name, math.Float64bits(th), req.Snapshot.Fingerprint())
-	if v, ok := s.cache.get(key); ok {
-		rec := v.(Recommendation)
-		rec.Cached = true
-		writeJSON(w, http.StatusOK, rec)
+	cached, fresh, found := s.cacheGet(r.Context(), key)
+	if found && fresh {
+		cached.Cached = true
+		writeJSON(w, http.StatusOK, cached)
 		return
 	}
-	if !s.admit(r.Context(), w) {
+	var stale *Recommendation
+	if found {
+		stale = &cached
+	}
+	if !s.admit(r.Context(), w, stale) {
 		return
 	}
 	defer s.lim.release()
@@ -185,25 +135,28 @@ func (s *Server) handleMetric(w http.ResponseWriter, r *http.Request) {
 	if measured != d.MaxSMT {
 		rec.Warning = fmt.Sprintf("snapshot measured at SMT%d: the metric is only reliable at the maximum level SMT%d", measured, d.MaxSMT)
 	}
-	s.cache.add(key, rec)
+	s.cacheAdd(r.Context(), key, rec)
 	writeJSON(w, http.StatusOK, rec)
 }
 
-// handleAnalyze serves POST /v1/analyze.
+// handleAnalyze serves POST /v1/analyze. The probe path degrades
+// gracefully: a stale cached recommendation (or, failing that, the partial
+// probe result) answers the request — marked degraded — when the probe is
+// cut off by the circuit breaker, saturation or the request deadline.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad analyze request: %v", err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad analyze request: %v", err)
 		return
 	}
 	d, err := s.reqArch(req.Arch)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
 	th, err := s.reqThreshold(req.Threshold)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
 	chips := req.Chips
@@ -211,62 +164,113 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		chips = s.cfg.Chips
 	}
 	if chips < 1 {
-		writeError(w, http.StatusBadRequest, "chips %d: need >= 1", req.Chips)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "chips %d: need >= 1", req.Chips)
 		return
 	}
 	var spec *workload.Spec
 	switch {
 	case req.Bench != "" && req.Spec != nil:
-		writeError(w, http.StatusBadRequest, "set either bench or spec, not both")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "set either bench or spec, not both")
 		return
 	case req.Bench != "":
 		spec, err = workload.Get(req.Bench)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "unknown bench %q (known: %s)",
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, "unknown bench %q (known: %s)",
 				req.Bench, strings.Join(workload.Names(), ", "))
 			return
 		}
 	case req.Spec != nil:
 		spec = req.Spec // UnmarshalJSON already validated it
 	default:
-		writeError(w, http.StatusBadRequest, "one of bench or spec is required")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "one of bench or spec is required")
 		return
 	}
 
 	specJSON, err := json.Marshal(spec)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "canonicalising spec: %v", err)
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "canonicalising spec: %v", err)
 		return
 	}
 	key := fmt.Sprintf("analyze|%s|%d|%d|%016x|%016x",
 		d.Name, chips, req.Seed, math.Float64bits(th), xrand.HashBytes(specJSON))
-	if v, ok := s.cache.get(key); ok {
-		rec := v.(Recommendation)
-		rec.Cached = true
-		writeJSON(w, http.StatusOK, rec)
+	cached, fresh, found := s.cacheGet(r.Context(), key)
+	if found && fresh {
+		cached.Cached = true
+		writeJSON(w, http.StatusOK, cached)
 		return
 	}
-	if !s.admit(r.Context(), w) {
+	var stale *Recommendation
+	if found {
+		stale = &cached
+	}
+	if !s.admit(r.Context(), w, stale) {
 		return
 	}
 	defer s.lim.release()
 
-	res, err := s.probe(r.Context(), d, chips, spec, req.Seed)
-	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
-			errors.Is(err, cpu.ErrCanceled):
-			s.met.timeouts.Add(1)
-			writeError(w, http.StatusServiceUnavailable, "probe aborted: %v", err)
-		default:
-			writeError(w, http.StatusInternalServerError, "probe failed: %v", err)
+	// The breaker gate sits after admission so a half-open trial that wins
+	// the gate always runs (and therefore always reports back): every
+	// return path below passes through onSuccess or onFailure.
+	if !s.brk.allow() {
+		if stale != nil {
+			s.serveStale(w, *stale, "probe circuit breaker open")
+			return
 		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, api.CodeBreakerOpen, "probe circuit breaker open, retry later")
 		return
 	}
+
+	res, err := s.probe(r.Context(), d, chips, spec, req.Seed)
+	if err != nil {
+		s.probeFailed(w, err, res, d, spec, th, stale)
+		return
+	}
+	s.brk.onSuccess()
 	rec := decide(d, d.MaxSMT, res.Metric, th)
 	rec.WallCycles = res.WallCycles
 	rec.Bench = spec.Name
 	rec.Fingerprint = fmt.Sprintf("%016x", res.Snapshot.Fingerprint())
-	s.cache.add(key, rec)
+	s.cacheAdd(r.Context(), key, rec)
 	writeJSON(w, http.StatusOK, rec)
+}
+
+// probeFailed routes a failed probe through the degradation ladder:
+// serve a stale cached answer, else a partial-probe answer, else the
+// api.Error envelope for the failure class.
+func (s *Server) probeFailed(w http.ResponseWriter, err error, res controller.ProbeResult, d *arch.Desc, spec *workload.Spec, th float64, stale *Recommendation) {
+	timedOut := errors.Is(err, context.DeadlineExceeded)
+	canceled := errors.Is(err, context.Canceled) || errors.Is(err, cpu.ErrCanceled)
+	// A client that went away is not a sick probe; only deadline and
+	// organic failures count against the breaker.
+	if timedOut || !canceled {
+		s.brk.onFailure()
+	} else {
+		s.brk.onNeutral()
+	}
+	if timedOut || canceled {
+		s.met.timeouts.Add(1)
+		if stale != nil {
+			s.serveStale(w, *stale, fmt.Sprintf("probe aborted (%v)", err))
+			return
+		}
+		if res.Snapshot.Retired > 0 {
+			// The deadline cut the probe short but completed interval data
+			// exists (cpu.RunContext semantics): answer from it rather
+			// than discarding the work.
+			rec := decide(d, d.MaxSMT, res.Metric, th)
+			rec.WallCycles = res.WallCycles
+			rec.Bench = spec.Name
+			rec.Fingerprint = fmt.Sprintf("%016x", res.Snapshot.Fingerprint())
+			s.servePartial(w, rec, res.WallCycles)
+			return
+		}
+		writeError(w, http.StatusGatewayTimeout, api.CodeProbeTimeout, "probe aborted: %v", err)
+		return
+	}
+	if stale != nil {
+		s.serveStale(w, *stale, fmt.Sprintf("probe failed (%v)", err))
+		return
+	}
+	writeError(w, http.StatusInternalServerError, api.CodeProbeFailed, "probe failed: %v", err)
 }

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // lruCache is a fixed-capacity least-recently-used recommendation cache.
@@ -11,18 +12,25 @@ import (
 // requests describing the same observation — byte-identical snapshot, same
 // architecture, same threshold — share one computed recommendation. Values
 // are treated as immutable by all callers.
+//
+// Entries remember when they were stored so the serving layer can run
+// stale-while-revalidate: a fresh entry is served directly, a stale one is
+// recomputed — and only falls back to the stale value, marked degraded,
+// when recomputation is impossible (breaker open, saturation, deadline).
 type lruCache struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List
 	items map[string]*list.Element
+	now   func() time.Time // injectable for staleness tests
 
 	hits, misses atomic.Uint64
 }
 
 type cacheEntry struct {
-	key string
-	val any
+	key      string
+	val      any
+	storedAt time.Time
 }
 
 // newLRUCache builds a cache holding at most max entries; max <= 0 disables
@@ -32,28 +40,35 @@ func newLRUCache(max int) *lruCache {
 		max:   max,
 		ll:    list.New(),
 		items: make(map[string]*list.Element),
+		now:   time.Now,
 	}
 }
 
-// get returns the cached value and marks it most recently used.
-func (c *lruCache) get(key string) (any, bool) {
+// get returns the cached value, whether it is still fresh under ttl
+// (ttl <= 0 means entries never go stale), and whether it was present at
+// all. Present entries are marked most recently used either way — a stale
+// entry is still the degradation layer's best fallback, so it should not
+// be the first evicted.
+func (c *lruCache) get(key string, ttl time.Duration) (any, bool, bool) {
 	if c.max <= 0 {
 		c.misses.Add(1)
-		return nil, false
+		return nil, false, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits.Add(1)
-		return el.Value.(*cacheEntry).val, true
+		e := el.Value.(*cacheEntry)
+		fresh := ttl <= 0 || c.now().Sub(e.storedAt) <= ttl
+		return e.val, fresh, true
 	}
 	c.misses.Add(1)
-	return nil, false
+	return nil, false, false
 }
 
 // add inserts (or refreshes) a value, evicting the least recently used
-// entry when over capacity.
+// entry when over capacity. Refreshing resets the entry's age.
 func (c *lruCache) add(key string, val any) {
 	if c.max <= 0 {
 		return
@@ -62,10 +77,12 @@ func (c *lruCache) add(key string, val any) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).val = val
+		e := el.Value.(*cacheEntry)
+		e.val = val
+		e.storedAt = c.now()
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, storedAt: c.now()})
 	for c.ll.Len() > c.max {
 		last := c.ll.Back()
 		c.ll.Remove(last)

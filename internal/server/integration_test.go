@@ -285,7 +285,8 @@ func TestGracefulDrainCompletesInFlight(t *testing.T) {
 }
 
 // TestRequestTimeoutAborts verifies that a probe outliving the per-request
-// budget is cancelled and reported as 503, not left running.
+// budget is cancelled and reported as 504 probe_timeout (the stub yields no
+// partial data and the cache is disabled, so no degraded answer exists).
 func TestRequestTimeoutAborts(t *testing.T) {
 	cfg := testConfig()
 	cfg.RequestTimeout = 50 * time.Millisecond
@@ -298,8 +299,8 @@ func TestRequestTimeoutAborts(t *testing.T) {
 	defer ts.Close()
 
 	status, _ := httpPost(t, ts.URL+"/v1/analyze", analyzeBody(7))
-	if status != http.StatusServiceUnavailable {
-		t.Fatalf("status %d, want 503 on timeout", status)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 on timeout", status)
 	}
 	vars := fetchVars(t, ts.URL)
 	if got := vars["timeout_total"].(float64); got < 1 {

@@ -23,6 +23,13 @@ type metrics struct {
 	shed         atomic.Uint64
 	timeouts     atomic.Uint64
 
+	// Degradation-path counters: every degraded answer increments
+	// degraded plus exactly one of staleServed (stale cache fallback) or
+	// partialServed (partial-probe fallback).
+	degraded      atomic.Uint64
+	staleServed   atomic.Uint64
+	partialServed atomic.Uint64
+
 	latency *report.LatencyHistogram
 }
 
@@ -67,11 +74,22 @@ func (s *Server) vars() map[string]any {
 		"shed_total":     s.met.shed.Load(),
 		"timeout_total":  s.met.timeouts.Load(),
 
-		"cache_capacity": s.cfg.CacheSize,
-		"cache_size":     s.cache.len(),
-		"cache_hits":     hits,
-		"cache_misses":   misses,
-		"cache_hit_rate": hitRate,
+		"degraded_total":       s.met.degraded.Load(),
+		"stale_served_total":   s.met.staleServed.Load(),
+		"partial_served_total": s.met.partialServed.Load(),
+
+		"breaker_state":        s.brk.stateName(),
+		"breaker_opens_total":  s.brk.opens.Load(),
+		"breaker_denied_total": s.brk.denied.Load(),
+
+		"fault_injection": s.cfg.Faults.Counts(),
+
+		"cache_capacity":    s.cfg.CacheSize,
+		"cache_size":        s.cache.len(),
+		"cache_ttl_seconds": s.cfg.CacheTTL.Seconds(),
+		"cache_hits":        hits,
+		"cache_misses":      misses,
+		"cache_hit_rate":    hitRate,
 
 		"workers":             s.lim.workers(),
 		"active_workers":      s.lim.activeWorkers(),

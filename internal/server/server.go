@@ -33,9 +33,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/api"
 	"repro/internal/arch"
 	"repro/internal/controller"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/workload"
 )
 
@@ -64,6 +66,21 @@ type Config struct {
 	// CacheSize is the LRU recommendation-cache capacity in entries
 	// (0 = 1024; negative disables caching).
 	CacheSize int
+	// CacheTTL is how long a cached recommendation stays fresh. Beyond it
+	// the entry is revalidated by a new probe, and only served again —
+	// marked degraded — when revalidation is impossible (0 = entries never
+	// go stale, the pre-degradation behaviour).
+	CacheTTL time.Duration
+	// BreakerThreshold is the number of consecutive probe failures that
+	// opens the probe circuit breaker (0 = 5; negative disables the
+	// breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting a
+	// half-open trial probe (0 = 10s).
+	BreakerCooldown time.Duration
+	// Faults optionally injects scheduled faults into the probe and cache
+	// paths for chaos testing (nil = no injection; see internal/fault).
+	Faults *fault.Injector
 	// AccessLog receives one JSON line per request (nil = no logging).
 	AccessLog io.Writer
 }
@@ -91,6 +108,15 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize < 0 {
 		c.CacheSize = 0
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = 0 // disabled
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
 	return c
 }
 
@@ -114,6 +140,12 @@ func (c Config) validate() error {
 	if c.RequestTimeout < 0 {
 		return fmt.Errorf("server: negative request timeout %v", c.RequestTimeout)
 	}
+	if c.CacheTTL < 0 {
+		return fmt.Errorf("server: negative cache TTL %v", c.CacheTTL)
+	}
+	if c.BreakerCooldown < 0 {
+		return fmt.Errorf("server: negative breaker cooldown %v", c.BreakerCooldown)
+	}
 	return nil
 }
 
@@ -127,6 +159,7 @@ type Server struct {
 	defaultArch *arch.Desc
 	lim         *limiter
 	cache       *lruCache
+	brk         *breaker
 	met         *metrics
 	mux         *http.ServeMux
 	probe       probeFunc
@@ -150,12 +183,19 @@ func New(cfg Config) (*Server, error) {
 		defaultArch: d,
 		lim:         newLimiter(cfg.Workers, cfg.QueueDepth),
 		cache:       newLRUCache(cfg.CacheSize),
+		brk:         newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		met:         newMetrics(),
 		// At most Workers probes run at once, so Workers machines per
 		// (arch, chips) key covers the steady state.
 		pool: cpu.NewPool(cfg.Workers),
 	}
 	s.probe = func(ctx context.Context, d *arch.Desc, chips int, spec *workload.Spec, seed uint64) (controller.ProbeResult, error) {
+		// Scheduled faults fire before the real probe: an injected delay
+		// eats into the request budget, an injected error or hang takes
+		// the same degradation path a sick simulator would.
+		if err := cfg.Faults.Inject(ctx, fault.OpProbe); err != nil {
+			return controller.ProbeResult{}, err
+		}
 		return controller.ProbeWith(ctx, s.pool, d, chips, spec, seed)
 	}
 	s.mux = http.NewServeMux()
@@ -249,11 +289,6 @@ func resolveArch(name string) (*arch.Desc, error) {
 	}
 }
 
-// errorBody is the JSON error envelope.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	body, err := json.Marshal(v)
 	if err != nil {
@@ -268,8 +303,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(append(body, '\n'))
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+// writeError emits the api.Error envelope every non-2xx response carries:
+// a human-readable message under "error" and the machine-readable code
+// clients branch on.
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, api.Error{Message: fmt.Sprintf(format, args...), Code: code})
 }
 
 // handleHealthz answers liveness probes; a draining server reports 503 so
@@ -282,20 +320,95 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// admit runs the bounded-concurrency admission for one request, translating
-// limiter failures into the right HTTP status. On success the caller must
-// call s.lim.release().
-func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
+// admit runs the bounded-concurrency admission for one request. When
+// admission fails and the caller holds a stale cached recommendation, the
+// request is answered from it (marked degraded) instead of bouncing — the
+// graceful-degradation path; with nothing to fall back on, the limiter
+// failure maps to 429 (queue full) or 503 (expired while queued). Either
+// way the response has been written when admit returns false. On success
+// the caller must call s.lim.release().
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, stale *api.Recommendation) bool {
 	if err := s.lim.acquire(ctx); err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			s.met.shed.Add(1)
+			if stale != nil {
+				s.serveStale(w, *stale, "server saturated")
+				return false
+			}
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "worker queue full, retry later")
+			writeError(w, http.StatusTooManyRequests, api.CodeRateLimited, "worker queue full, retry later")
 		} else {
 			s.met.timeouts.Add(1)
-			writeError(w, http.StatusServiceUnavailable, "request expired while queued: %v", err)
+			if stale != nil {
+				s.serveStale(w, *stale, "request expired while queued")
+				return false
+			}
+			writeError(w, http.StatusServiceUnavailable, api.CodeQueueTimeout, "request expired while queued: %v", err)
 		}
 		return false
 	}
 	return true
+}
+
+// warnHeader formats the RFC 7234 Warning header carried by every degraded
+// response; code 110 ("response is stale") for stale answers, 199 for
+// partial-probe answers.
+func warnHeader(code int, reason string) string {
+	return fmt.Sprintf("%d smtservd %q", code, reason)
+}
+
+// serveStale answers 200 with a stale cached recommendation, marked
+// degraded, when the fresh path is unavailable.
+func (s *Server) serveStale(w http.ResponseWriter, rec api.Recommendation, cause string) {
+	reason := cause + ": serving last known recommendation"
+	rec.Cached = true
+	rec.Degraded = true
+	if rec.Warning != "" {
+		rec.Warning = reason + "; " + rec.Warning
+	} else {
+		rec.Warning = reason
+	}
+	s.met.degraded.Add(1)
+	s.met.staleServed.Add(1)
+	w.Header().Set("Warning", warnHeader(110, reason))
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// servePartial answers 200 with a recommendation computed from a probe cut
+// short by the request deadline, marked degraded.
+func (s *Server) servePartial(w http.ResponseWriter, rec api.Recommendation, wall int64) {
+	reason := fmt.Sprintf("partial probe: deadline expired after %d simulated cycles", wall)
+	rec.Degraded = true
+	if rec.Warning != "" {
+		rec.Warning = reason + "; " + rec.Warning
+	} else {
+		rec.Warning = reason
+	}
+	s.met.degraded.Add(1)
+	s.met.partialServed.Add(1)
+	w.Header().Set("Warning", warnHeader(199, reason))
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// cacheGet looks up a recommendation, routing the lookup through the fault
+// injector: an injected failure is observed as a miss, an injected delay
+// as a slow lookup.
+func (s *Server) cacheGet(ctx context.Context, key string) (api.Recommendation, bool, bool) {
+	if err := s.cfg.Faults.Inject(ctx, fault.OpCacheGet); err != nil {
+		return api.Recommendation{}, false, false
+	}
+	v, fresh, ok := s.cache.get(key, s.cfg.CacheTTL)
+	if !ok {
+		return api.Recommendation{}, false, false
+	}
+	return v.(api.Recommendation), fresh, true
+}
+
+// cacheAdd stores a recommendation unless the fault injector drops the
+// insert.
+func (s *Server) cacheAdd(ctx context.Context, key string, rec api.Recommendation) {
+	if err := s.cfg.Faults.Inject(ctx, fault.OpCacheAdd); err != nil {
+		return
+	}
+	s.cache.add(key, rec)
 }

@@ -308,14 +308,14 @@ func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
 	c.add("a", 1)
 	c.add("b", 2)
-	if _, ok := c.get("a"); !ok { // refresh a; b becomes LRU
+	if _, _, ok := c.get("a", 0); !ok { // refresh a; b becomes LRU
 		t.Fatal("a missing")
 	}
 	c.add("c", 3)
-	if _, ok := c.get("b"); ok {
+	if _, _, ok := c.get("b", 0); ok {
 		t.Fatal("b not evicted")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, _, ok := c.get("a", 0); !ok {
 		t.Fatal("refreshed entry evicted")
 	}
 	if c.len() != 2 {
@@ -328,7 +328,7 @@ func TestLRUCacheEviction(t *testing.T) {
 	// Disabled cache.
 	d := newLRUCache(0)
 	d.add("x", 1)
-	if _, ok := d.get("x"); ok {
+	if _, _, ok := d.get("x", 0); ok {
 		t.Fatal("disabled cache returned a value")
 	}
 }

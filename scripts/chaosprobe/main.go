@@ -1,0 +1,141 @@
+// Command chaosprobe drives a live smtservd instance with concurrent
+// retrying clients and verifies the graceful-degradation contract holds
+// end to end. CI starts the daemon with a seeded fault schedule
+// (-faults scripts/chaos-schedule.json) and then runs this probe against
+// it: nearly every request must still be answered — fresh or marked
+// degraded — and every degraded answer must carry a warning.
+//
+// Usage:
+//
+//	chaosprobe -url http://127.0.0.1:18701 -clients 16 -requests 4
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		baseURL  = flag.String("url", "http://127.0.0.1:18701", "smtservd base URL")
+		clients  = flag.Int("clients", 16, "concurrent clients")
+		requests = flag.Int("requests", 4, "requests per client")
+		keys     = flag.Int("keys", 8, "distinct analyze requests in the golden set")
+		seed     = flag.Uint64("seed", 1, "base seed for client backoff jitter")
+		minOK    = flag.Float64("min-answered", 0.99, "minimum answered (fresh or degraded) fraction")
+		settle   = flag.Duration("settle", 100*time.Millisecond, "pause after prewarm so cached answers outlive the server's cache TTL and revalidation probes meet the injected faults")
+		timeout  = flag.Duration("timeout", 60*time.Second, "overall budget")
+	)
+	flag.Parse()
+	if err := run(*baseURL, *clients, *requests, *keys, *seed, *minOK, *settle, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "chaosprobe: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// chaosReq builds the i-th golden analyze request: tiny deterministic
+// workloads the simulator finishes in well under any sane request budget.
+func chaosReq(i int) api.AnalyzeRequest {
+	return api.AnalyzeRequest{
+		Spec: &workload.Spec{
+			Name: fmt.Sprintf("chaos-%d", i), Mix: workload.Mix{Int: 1},
+			Chains: 1, WorkingSetKB: 1, TotalWork: 50_000, IterLen: 100,
+		},
+		Seed: uint64(100 + i),
+	}
+}
+
+// run owns the probe's lifetime so main can os.Exit without skipping
+// defers.
+func run(baseURL string, clients, requests, keys int, seed uint64, minOK float64, settle, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	// Prewarm the golden keys serially so the degradation layer has a
+	// last known recommendation for every one of them; the fault
+	// schedule's After windows keep this phase clean.
+	warm, err := client.New(client.Config{BaseURL: baseURL, Seed: seed})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < keys; i++ {
+		if _, err := warm.Analyze(ctx, chaosReq(i)); err != nil {
+			return fmt.Errorf("prewarm key %d: %w", i, err)
+		}
+	}
+	time.Sleep(settle)
+
+	type result struct {
+		err      error
+		degraded bool
+		warning  string
+	}
+	results := make(chan result, clients*requests)
+	hist := report.NewLatencyHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := client.New(client.Config{
+				BaseURL:        baseURL,
+				MaxAttempts:    3,
+				AttemptTimeout: 5 * time.Second,
+				BaseDelay:      5 * time.Millisecond,
+				MaxDelay:       100 * time.Millisecond,
+				Seed:           seed + uint64(i),
+			})
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			for j := 0; j < requests; j++ {
+				start := time.Now()
+				rec, err := c.Analyze(ctx, chaosReq((i*requests+j)%keys))
+				hist.Observe(time.Since(start))
+				results <- result{err: err, degraded: rec.Degraded, warning: rec.Warning}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+
+	total, answered, degraded, unmarked := 0, 0, 0, 0
+	var firstErr error
+	for r := range results {
+		total++
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		answered++
+		if r.degraded {
+			degraded++
+			if r.warning == "" {
+				unmarked++
+			}
+		}
+	}
+	ratio := float64(answered) / float64(total)
+	fmt.Printf("chaosprobe: answered %d/%d (%.1f%%), degraded %d, p99 %v\n",
+		answered, total, 100*ratio, degraded, hist.Quantile(0.99))
+	if unmarked > 0 {
+		return fmt.Errorf("%d degraded answers carried no warning", unmarked)
+	}
+	if ratio < minOK {
+		return fmt.Errorf("answered %.1f%% < required %.1f%% (first error: %v)",
+			100*ratio, 100*minOK, firstErr)
+	}
+	return nil
+}

@@ -50,6 +50,22 @@ fi
 kill -TERM "$servd_pid"
 wait "$servd_pid"
 
+step "chaos smoke (seeded fault injection against live smtservd)"
+"$bin" -addr 127.0.0.1:18701 -quiet \
+	-faults scripts/chaos-schedule.json \
+	-cache-ttl 50ms -breaker-threshold 4 -breaker-cooldown 100ms -timeout 2s &
+chaos_pid=$!
+if ! go run ./scripts/healthcheck -url http://127.0.0.1:18701/healthz -timeout 15s; then
+	kill "$chaos_pid" 2>/dev/null || true
+	exit 1
+fi
+if ! go run ./scripts/chaosprobe -url http://127.0.0.1:18701 -clients 16 -requests 4; then
+	kill "$chaos_pid" 2>/dev/null || true
+	exit 1
+fi
+kill -TERM "$chaos_pid"
+wait "$chaos_pid"
+
 if [ "$quick" = "quick" ]; then
 	echo
 	echo "quick mode: skipping race and fuzz stages"
@@ -58,7 +74,7 @@ fi
 
 step "race detector (concurrent packages)"
 go test -race -count=1 ./internal/experiments ./internal/cpu ./internal/sched \
-	./internal/server ./internal/report
+	./internal/server ./internal/report ./internal/fault ./client
 
 step "fuzz smoke (10s per target)"
 go test -run '^$' -fuzz FuzzReader -fuzztime 10s ./internal/trace
