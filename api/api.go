@@ -149,6 +149,10 @@ const (
 	CodeBreakerOpen = "breaker_open"
 	// CodeInternal: the server failed to build its own response.
 	CodeInternal = "internal"
+	// CodeNoShards: the fleet router (smtrouter) exhausted every replica
+	// shard for the request's key — shards down, unreachable or all
+	// shedding; back off and retry after the shard cooldown.
+	CodeNoShards = "no_healthy_shards"
 )
 
 // Error is the single envelope every non-2xx response body carries. It
@@ -180,7 +184,7 @@ func (e *Error) Error() string {
 // attempt without changing the request.
 func (e *Error) Retryable() bool {
 	switch e.Code {
-	case CodeRateLimited, CodeQueueTimeout, CodeProbeTimeout, CodeBreakerOpen:
+	case CodeRateLimited, CodeQueueTimeout, CodeProbeTimeout, CodeBreakerOpen, CodeNoShards:
 		return true
 	}
 	// Codes this client version does not know (a newer server) are judged

@@ -42,6 +42,7 @@ func main() {
 		cacheTTL     = flag.Duration("cache-ttl", 0, "freshness window for cached recommendations; stale entries are revalidated, and served marked degraded only when revalidation fails (0 = never stale)")
 		brkThresh    = flag.Int("breaker-threshold", 5, "consecutive probe failures that open the probe circuit breaker (negative disables)")
 		brkCooldown  = flag.Duration("breaker-cooldown", 10*time.Second, "open-breaker wait before a half-open trial probe")
+		coalesce     = flag.Duration("coalesce-window", 0, "batch-admission window: identical analyze requests arriving within it share one probe (0 = coalesce in-flight only, negative disables coalescing)")
 		faultsPath   = flag.String("faults", "", "fault-injection schedule JSON for chaos testing (see internal/fault)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		quiet        = flag.Bool("quiet", false, "suppress the JSON access log")
@@ -67,6 +68,7 @@ func main() {
 		CacheTTL:         *cacheTTL,
 		BreakerThreshold: *brkThresh,
 		BreakerCooldown:  *brkCooldown,
+		CoalesceWindow:   *coalesce,
 	}
 	if *faultsPath != "" {
 		sched, err := fault.LoadSchedule(*faultsPath)

@@ -38,6 +38,14 @@ const (
 	// OpCacheAdd guards one recommendation-cache insert; an injected error
 	// drops the insert.
 	OpCacheAdd = "cache.add"
+	// OpRoute guards one routing decision in the fleet router
+	// (internal/router); an injected error fails the request before any
+	// shard is contacted — a sick ring as seen by a client.
+	OpRoute = "route"
+	// OpForward guards one forward hop from the router to a shard; an
+	// injected error is observed as that shard failing, driving the
+	// replica-fallback path without killing a real process.
+	OpForward = "forward"
 )
 
 // Injection modes.
@@ -79,7 +87,7 @@ type Rule struct {
 
 func (r *Rule) validate(i int) error {
 	switch r.Op {
-	case OpProbe, OpCacheGet, OpCacheAdd:
+	case OpProbe, OpCacheGet, OpCacheAdd, OpRoute, OpForward:
 	default:
 		return fmt.Errorf("fault: rule %d: unknown op %q", i, r.Op)
 	}

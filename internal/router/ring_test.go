@@ -1,0 +1,171 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// sampleKeys returns n deterministic pseudo-random keys.
+func sampleKeys(n int, seed uint64) []uint64 {
+	r := xrand.New(seed)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	return keys
+}
+
+func shardNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://shard-%d:8700", i)
+	}
+	return out
+}
+
+// TestRingDeterministicUnderSeed pins the routing invariant everything
+// else relies on: the key→shard mapping is a pure function of
+// (shard set, vnodes, seed), independent of the order shards are listed
+// in — so every router in a fleet routes identically.
+func TestRingDeterministicUnderSeed(t *testing.T) {
+	shards := shardNames(5)
+	a, err := NewRing(shards, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same inputs, reversed declaration order: identical ring.
+	rev := make([]string, len(shards))
+	for i, s := range shards {
+		rev[len(shards)-1-i] = s
+	}
+	b, err := NewRing(rev, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewRing(shards, 64, 43) // different seed: different layout
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range sampleKeys(4096, 7) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %x: owner differs between identical rings (%s vs %s)", k, a.Owner(k), b.Owner(k))
+		}
+		if a.Owner(k) != c.Owner(k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("changing the seed moved no keys: the seed is not reaching the layout")
+	}
+}
+
+// TestRingUniformity bounds the load split: with enough virtual nodes,
+// every shard's share of a large key sample stays within a factor of the
+// fair share. The sample and layout are deterministic, so the bound is
+// stable, not flaky.
+func TestRingUniformity(t *testing.T) {
+	const shards, vnodes, keys = 4, 128, 40_000
+	r, err := NewRing(shardNames(shards), vnodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int, shards)
+	for _, k := range sampleKeys(keys, 99) {
+		counts[r.Owner(k)]++
+	}
+	fair := float64(keys) / shards
+	for shard, n := range counts {
+		ratio := float64(n) / fair
+		if ratio < 0.70 || ratio > 1.30 {
+			t.Errorf("shard %s owns %d keys (%.2fx fair share), want within [0.70, 1.30]", shard, n, ratio)
+		}
+	}
+	if len(counts) != shards {
+		t.Fatalf("only %d of %d shards own any keys", len(counts), shards)
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing property: adding a
+// shard only moves keys onto the new shard (never between survivors), and
+// the moved fraction is in the neighbourhood of 1/(N+1).
+func TestRingMinimalMovement(t *testing.T) {
+	const vnodes, keys = 128, 20_000
+	old4 := shardNames(4)
+	with5 := shardNames(5) // shard-4 is the newcomer
+	a, err := NewRing(old4, vnodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(with5, vnodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newcomer := with5[4]
+	moved := 0
+	for _, k := range sampleKeys(keys, 3) {
+		ownerA, ownerB := a.Owner(k), b.Owner(k)
+		if ownerA != ownerB {
+			moved++
+			if ownerB != newcomer {
+				t.Fatalf("key %x moved %s → %s: adding %s must not shuffle keys between survivors",
+					k, ownerA, ownerB, newcomer)
+			}
+		}
+	}
+	frac := float64(moved) / keys
+	if frac < 0.10 || frac > 0.35 {
+		t.Errorf("adding 1 shard to 4 moved %.1f%% of keys, want ~20%% (within [10%%, 35%%])", 100*frac)
+	}
+
+	// Removal is the same property mirrored: keys owned by survivors stay
+	// put when a shard leaves.
+	for _, k := range sampleKeys(keys, 4) {
+		if owner := b.Owner(k); owner != newcomer && a.Owner(k) != owner {
+			t.Fatalf("key %x owned by survivor %s moved when %s left", k, owner, newcomer)
+		}
+	}
+}
+
+// TestRingOrder pins the replica preference order: it starts at the owner,
+// contains no duplicates, and never exceeds the shard count.
+func TestRingOrder(t *testing.T) {
+	r, err := NewRing(shardNames(3), 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range sampleKeys(512, 11) {
+		order := r.Order(k, 5) // more than the shard count: capped at 3
+		if len(order) != 3 {
+			t.Fatalf("key %x: order %v, want all 3 shards", k, order)
+		}
+		if order[0] != r.Owner(k) {
+			t.Fatalf("key %x: order starts at %s, want owner %s", k, order[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range order {
+			if seen[s] {
+				t.Fatalf("key %x: duplicate shard %s in order %v", k, s, order)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestRingRejectsBadInput covers the constructor's validation.
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 64, 1); err == nil {
+		t.Error("empty shard list accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 64, 1); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+	if _, err := NewRing([]string{""}, 64, 1); err == nil {
+		t.Error("empty shard name accepted")
+	}
+	if _, err := NewRing([]string{"a"}, 0, 1); err == nil {
+		t.Error("zero vnodes accepted")
+	}
+}

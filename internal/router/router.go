@@ -1,0 +1,460 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/fault"
+	"repro/internal/xrand"
+)
+
+// maxBodyBytes bounds request bodies, mirroring the shard-side limit.
+const maxBodyBytes = 1 << 20
+
+// Config tunes the fleet router.
+type Config struct {
+	// Shards are the backend smtservd base URLs, e.g.
+	// "http://10.0.0.1:8700". At least one is required.
+	Shards []string
+	// Replicas bounds how many distinct shards a request may be forwarded
+	// to, in ring order, before the router gives up (0 = 2; capped at the
+	// shard count). The first is the key's owner; the rest are fallbacks
+	// tried only when the preceding shard fails.
+	Replicas int
+	// VNodes is the number of virtual nodes per shard on the hash ring
+	// (0 = 128). More vnodes flatten the load split at the cost of a
+	// larger (still tiny) routing table.
+	VNodes int
+	// Seed drives the ring layout and the per-shard client retry jitter;
+	// routers sharing (Shards, VNodes, Seed) route identically.
+	Seed uint64
+	// RequestTimeout is the end-to-end budget for one routed request,
+	// spanning every forward attempt (0 = 30s).
+	RequestTimeout time.Duration
+	// HopTimeout bounds each single forward attempt to one shard (0 = 10s).
+	HopTimeout time.Duration
+	// HopAttempts is the per-shard retry budget of the forwarding client
+	// (0 = 2; 1 disables per-hop retries — replica fallback still applies).
+	HopAttempts int
+	// ShardCooldown is how long a shard that failed a forward is skipped
+	// before the router routes to it again (0 = 1s). The skip is advisory:
+	// when every replica for a key is cooling down, the router tries them
+	// anyway rather than failing the request unrouted.
+	ShardCooldown time.Duration
+	// Faults optionally injects scheduled faults into the routing and
+	// forwarding paths for chaos testing (nil = no injection); see
+	// fault.OpRoute and fault.OpForward.
+	Faults *fault.Injector
+	// AccessLog receives one JSON line per request (nil = no logging).
+	AccessLog io.Writer
+}
+
+// withDefaults fills zero values with production defaults.
+func (c Config) withDefaults() Config {
+	if c.Replicas == 0 {
+		c.Replicas = 2
+	}
+	if c.VNodes == 0 {
+		c.VNodes = 128
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.HopTimeout == 0 {
+		c.HopTimeout = 10 * time.Second
+	}
+	if c.HopAttempts == 0 {
+		c.HopAttempts = 2
+	}
+	if c.ShardCooldown == 0 {
+		c.ShardCooldown = time.Second
+	}
+	return c
+}
+
+// validate rejects nonsensical configurations.
+func (c Config) validate() error {
+	if len(c.Shards) == 0 {
+		return errors.New("router: at least one shard is required")
+	}
+	if c.Replicas < 1 {
+		return fmt.Errorf("router: replicas %d, need >= 1", c.Replicas)
+	}
+	if c.RequestTimeout < 0 || c.HopTimeout < 0 || c.ShardCooldown < 0 {
+		return errors.New("router: negative timeout")
+	}
+	if c.HopAttempts < 1 {
+		return fmt.Errorf("router: hop attempts %d, need >= 1", c.HopAttempts)
+	}
+	return nil
+}
+
+// shardState is the router's view of one backend: its forwarding client
+// plus passive health (a cooldown stamp set on forward failure).
+type shardState struct {
+	name string
+	cli  *client.Client
+
+	mu        sync.Mutex
+	downUntil time.Time
+
+	forwarded atomic.Uint64
+	failures  atomic.Uint64
+	downs     atomic.Uint64 // up→down transitions (rebalance events)
+	recovered atomic.Uint64 // down→up transitions
+}
+
+// down reports whether the shard is inside its failure cooldown.
+func (sh *shardState) down(now time.Time) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return now.Before(sh.downUntil)
+}
+
+// markDown starts (or extends) the shard's cooldown, reporting whether
+// this was an up→down transition.
+func (sh *shardState) markDown(now time.Time, cooldown time.Duration) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	wasUp := !now.Before(sh.downUntil)
+	sh.downUntil = now.Add(cooldown)
+	if wasUp {
+		sh.downs.Add(1)
+	}
+	return wasUp
+}
+
+// markUp clears the cooldown after a successful forward, reporting whether
+// this was a down→up transition.
+func (sh *shardState) markUp(now time.Time) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	wasDown := now.Before(sh.downUntil)
+	sh.downUntil = time.Time{}
+	if wasDown {
+		sh.recovered.Add(1)
+	}
+	return wasDown
+}
+
+// Router is the fleet frontend. Build one with New, mount Handler on an
+// http.Server, and call BeginDrain before http.Server.Shutdown.
+type Router struct {
+	cfg      Config
+	ring     *Ring
+	shards   map[string]*shardState
+	met      *metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+	logMu    sync.Mutex
+	now      func() time.Time // injectable for cooldown tests
+}
+
+// New builds the router from a validated configuration.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(cfg.Shards, cfg.VNodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   ring,
+		shards: make(map[string]*shardState, len(cfg.Shards)),
+		met:    newMetrics(),
+		now:    time.Now,
+	}
+	for _, name := range ring.Shards() {
+		cli, err := client.New(client.Config{
+			BaseURL:        name,
+			MaxAttempts:    cfg.HopAttempts,
+			AttemptTimeout: cfg.HopTimeout,
+			// Per-hop retries must not eat the replica-fallback budget:
+			// keep backoff short and bounded.
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    200 * time.Millisecond,
+			RetryBudget: cfg.HopTimeout,
+			Seed:        xrand.Mix64(cfg.Seed ^ xrand.HashString(name)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %q: %w", name, err)
+		}
+		rt.shards[name] = &shardState{name: name, cli: cli}
+	}
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /debug/vars", rt.handleVars)
+	rt.mux.HandleFunc("POST /v1/metric", rt.handleMetric)
+	rt.mux.HandleFunc("POST /v1/analyze", rt.handleAnalyze)
+	return rt, nil
+}
+
+// Handler returns the full request pipeline: routing wrapped with the
+// timeout, metrics and access-logging middleware.
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx := r.Context()
+		if rt.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, rt.cfg.RequestTimeout)
+			defer cancel()
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		rt.mux.ServeHTTP(rec, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		rt.met.observe(rec.status, elapsed)
+		rt.accessLog(r, rec.status, rec.bytes, elapsed)
+	})
+}
+
+// BeginDrain flips the router into draining mode: /healthz answers 503 so
+// load balancers stop routing here while in-flight forwards finish.
+func (rt *Router) BeginDrain() { rt.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (rt *Router) Draining() bool { return rt.draining.Load() }
+
+// statusRecorder captures the response status and size for logs/metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// accessLog emits one structured JSON line per request.
+func (rt *Router) accessLog(r *http.Request, status int, bytes int64, elapsed time.Duration) {
+	if rt.cfg.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(map[string]any{
+		"time":   time.Now().UTC().Format(time.RFC3339Nano),
+		"method": r.Method,
+		"path":   r.URL.Path,
+		"status": status,
+		"bytes":  bytes,
+		"dur_ms": float64(elapsed.Microseconds()) / 1000,
+		"remote": r.RemoteAddr,
+	})
+	if err != nil {
+		return
+	}
+	rt.logMu.Lock()
+	defer rt.logMu.Unlock()
+	//lint:ignore errlint access logging is best-effort by design: a full log disk must not fail requests
+	_, _ = rt.cfg.AccessLog.Write(append(line, '\n'))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	//lint:ignore errlint the response write is best-effort: the client may have hung up, and the status is already committed
+	_, _ = w.Write(append(body, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, api.Error{Message: fmt.Sprintf(format, args...), Code: code})
+}
+
+// handleHealthz answers liveness probes with the router's own state plus
+// its current view of shard health; a draining router reports 503.
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	now := rt.now()
+	shards := make(map[string]string, len(rt.shards))
+	for name, sh := range rt.shards {
+		if sh.down(now) {
+			shards[name] = "down"
+		} else {
+			shards[name] = "up"
+		}
+	}
+	status := "ok"
+	code := http.StatusOK
+	if rt.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": status, "shards": shards})
+}
+
+// decodeJSON parses a request body, rejecting unknown fields so misspelled
+// options fail loudly at the edge instead of deep in a shard.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// handleMetric routes POST /v1/metric by the snapshot's canonical
+// fingerprint — the identity the shard-side LRU is keyed on, so repeat
+// scores of one observation always land on the shard holding its cache
+// entry.
+func (rt *Router) handleMetric(w http.ResponseWriter, r *http.Request) {
+	var req api.MetricRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad metric request: %v", err)
+		return
+	}
+	rt.forward(r.Context(), w, req.Snapshot.Fingerprint(),
+		func(ctx context.Context, c *client.Client) (api.Recommendation, error) {
+			return c.Metric(ctx, req)
+		})
+}
+
+// handleAnalyze routes POST /v1/analyze by the hash of the canonical
+// (re-marshalled) request, which covers the workload identity plus every
+// probe parameter — the same composite the shard's cache key is built
+// from, so identical analyze calls coalesce on one shard's flight group.
+func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req api.AnalyzeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad analyze request: %v", err)
+		return
+	}
+	canonical, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "canonicalising request: %v", err)
+		return
+	}
+	rt.forward(r.Context(), w, xrand.HashBytes(canonical),
+		func(ctx context.Context, c *client.Client) (api.Recommendation, error) {
+			return c.Analyze(ctx, req)
+		})
+}
+
+// fallbackEligible reports whether a forward failure may be retried on the
+// next replica: transport-level failures (the shard-kill case) and
+// server-reported transient failures qualify; a failure the replica would
+// reproduce verbatim — bad request, deterministic probe failure — must
+// propagate instead, or every malformed request would burn the whole
+// replica set.
+func fallbackEligible(err error) bool {
+	var e *api.Error
+	if errors.As(err, &e) {
+		return e.Retryable()
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// forward routes one request: it derives the replica preference order from
+// the ring, skips shards inside their failure cooldown (unless every
+// candidate is cooling down — then they are tried anyway as a last
+// resort), and walks the candidates until one answers. Shard failures
+// update the passive-health view so subsequent requests rebalance onto the
+// surviving replicas immediately.
+func (rt *Router) forward(ctx context.Context, w http.ResponseWriter, key uint64, call func(ctx context.Context, c *client.Client) (api.Recommendation, error)) {
+	if err := rt.cfg.Faults.Inject(ctx, fault.OpRoute); err != nil {
+		rt.met.unroutable.Add(1)
+		writeError(w, http.StatusServiceUnavailable, api.CodeNoShards, "routing failed: %v", err)
+		return
+	}
+	order := rt.ring.Order(key, rt.cfg.Replicas)
+	now := rt.now()
+	up := make([]*shardState, 0, len(order))
+	down := make([]*shardState, 0, len(order))
+	for _, name := range order {
+		sh := rt.shards[name]
+		if sh.down(now) {
+			down = append(down, sh)
+		} else {
+			up = append(up, sh)
+		}
+	}
+	candidates := append(up, down...)
+
+	var lastErr error
+	for i, sh := range candidates {
+		if i > 0 {
+			rt.met.fallback.Add(1)
+		}
+		if err := rt.cfg.Faults.Inject(ctx, fault.OpForward); err != nil {
+			sh.failures.Add(1)
+			rt.shardFailed(sh)
+			lastErr = err
+			continue
+		}
+		rec, err := call(ctx, sh.cli)
+		if err == nil {
+			sh.forwarded.Add(1)
+			if sh.markUp(rt.now()) {
+				rt.met.recoveries.Add(1)
+			}
+			if rec.Degraded {
+				w.Header().Set("Warning", fmt.Sprintf("110 smtrouter %q", "degraded answer from shard"))
+			}
+			writeJSON(w, http.StatusOK, rec)
+			return
+		}
+		sh.failures.Add(1)
+		lastErr = err
+		if !fallbackEligible(err) {
+			rt.propagate(w, err)
+			return
+		}
+		rt.shardFailed(sh)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	rt.met.unroutable.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, api.CodeNoShards,
+		"no healthy shard answered (tried %d of %d replicas): %v", len(candidates), len(order), lastErr)
+}
+
+// shardFailed records a fallback-eligible forward failure in the
+// passive-health view.
+func (rt *Router) shardFailed(sh *shardState) {
+	if sh.markDown(rt.now(), rt.cfg.ShardCooldown) {
+		rt.met.rebalances.Add(1)
+	}
+}
+
+// propagate re-emits a shard-reported api.Error verbatim — same status,
+// code and message — so the router is transparent to clients for
+// non-retryable failures.
+func (rt *Router) propagate(w http.ResponseWriter, err error) {
+	var e *api.Error
+	if !errors.As(err, &e) {
+		writeError(w, http.StatusBadGateway, api.CodeNoShards, "shard failed: %v", err)
+		return
+	}
+	status := e.Status
+	if status == 0 {
+		status = http.StatusBadGateway
+	}
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
+	}
+	writeJSON(w, status, *e)
+}

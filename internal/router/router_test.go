@@ -1,0 +1,308 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/internal/counters"
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// newShard starts one real advisor shard (internal/server) and returns its
+// test server. Every shard gets the same configuration, which is what the
+// 1-shard ≡ N-shard determinism contract requires of a production fleet.
+func newShard(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := server.New(server.Config{
+		Threshold:      0.21,
+		Workers:        2,
+		QueueDepth:     8,
+		RequestTimeout: 10 * time.Second,
+		CoalesceWindow: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newFleet starts n shards and a router over them, returning the router's
+// test server plus the shard test servers.
+func newFleet(t *testing.T, n int, tweak func(*Config)) (*httptest.Server, []*httptest.Server) {
+	t.Helper()
+	shards := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range shards {
+		shards[i] = newShard(t)
+		urls[i] = shards[i].URL
+	}
+	cfg := Config{Shards: urls, Replicas: 2, Seed: 1}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return ts, shards
+}
+
+// post sends one JSON request and returns (status, body).
+func post(t *testing.T, baseURL, path string, payload any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// routerVars fetches and decodes the router's /debug/vars.
+func routerVars(t *testing.T, baseURL string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	return vars
+}
+
+func rvarInt(t *testing.T, vars map[string]any, key string) int64 {
+	t.Helper()
+	v, ok := vars[key].(float64)
+	if !ok {
+		t.Fatalf("/debug/vars %q = %v (%T), want a number", key, vars[key], vars[key])
+	}
+	return int64(v)
+}
+
+// analyzeReq builds the i-th distinct analyze request; distinct specs and
+// seeds spread the keys over the ring.
+func analyzeReq(i int) api.AnalyzeRequest {
+	return api.AnalyzeRequest{
+		Spec: &workload.Spec{
+			Name: fmt.Sprintf("fleet-%d", i), Mix: workload.Mix{Int: 1},
+			Chains: 1, WorkingSetKB: 1, TotalWork: 50_000, IterLen: 100,
+		},
+		Seed: uint64(100 + i),
+	}
+}
+
+// metricReq builds a /v1/metric request with a recognisable snapshot.
+func metricReq() api.MetricRequest {
+	s := counters.Snapshot{
+		WallCycles: 10_000, CoreCycles: 80_000, SMTLevel: 4,
+		DispHeldCycles: 72_000,
+		Retired:        100_000,
+		ThreadBusy:     []int64{10_000, 10_000},
+	}
+	s.RetiredByClass[isa.Branch] = 40_000
+	s.RetiredByClass[isa.Load] = 40_000
+	s.RetiredByClass[isa.Int] = 20_000
+	return api.MetricRequest{Snapshot: s}
+}
+
+// TestGoldenOneShardEqualsFleet is the determinism pin from the issue:
+// the same request must yield a byte-identical Recommendation through a
+// single shard and through a 3-shard router — fresh and cached alike.
+func TestGoldenOneShardEqualsFleet(t *testing.T) {
+	solo := newShard(t)
+	fleet, _ := newFleet(t, 3, nil)
+
+	check := func(name, path string, payload any) {
+		t.Helper()
+		// Twice per side: the first answer is fresh, the second served from
+		// the shard cache; both must match byte for byte.
+		for pass := 0; pass < 2; pass++ {
+			soloStatus, soloBody := post(t, solo.URL, path, payload)
+			fleetStatus, fleetBody := post(t, fleet.URL, path, payload)
+			if soloStatus != http.StatusOK || fleetStatus != http.StatusOK {
+				t.Fatalf("%s pass %d: solo %d fleet %d: %s / %s", name, pass, soloStatus, fleetStatus, soloBody, fleetBody)
+			}
+			if !bytes.Equal(soloBody, fleetBody) {
+				t.Fatalf("%s pass %d: 1-shard and 3-shard responses differ:\nsolo:  %s\nfleet: %s",
+					name, pass, soloBody, fleetBody)
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		check(fmt.Sprintf("analyze-%d", i), api.PathAnalyze, analyzeReq(i))
+	}
+	check("metric", api.PathMetric, metricReq())
+}
+
+// TestRouterKeyAffinity pins cache affinity: identical requests land on
+// the same shard, so the second answer comes from that shard's LRU.
+func TestRouterKeyAffinity(t *testing.T) {
+	fleet, _ := newFleet(t, 3, nil)
+	req := analyzeReq(0)
+	if status, body := post(t, fleet.URL, api.PathAnalyze, req); status != http.StatusOK {
+		t.Fatalf("first: %d %s", status, body)
+	}
+	_, body := post(t, fleet.URL, api.PathAnalyze, req)
+	var rec api.Recommendation
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Cached {
+		t.Fatalf("second identical request missed the shard cache: %+v — keys are not routing stably", rec)
+	}
+}
+
+// TestRouterShardLossFallback kills one of two shards and verifies every
+// request is still answered via replica fallback, with the loss visible in
+// the rebalance counters.
+func TestRouterShardLossFallback(t *testing.T) {
+	fleet, shards := newFleet(t, 2, func(c *Config) {
+		c.HopTimeout = 2 * time.Second
+		c.ShardCooldown = 30 * time.Second // dead shard stays skipped for the whole test
+	})
+	shards[0].Close() // hard loss: connection refused, like a SIGKILLed shard
+
+	const n = 12
+	for i := 0; i < n; i++ {
+		status, body := post(t, fleet.URL, api.PathAnalyze, analyzeReq(i))
+		if status != http.StatusOK {
+			t.Fatalf("request %d after shard loss: %d %s", i, status, body)
+		}
+	}
+	vars := routerVars(t, fleet.URL)
+	if got := rvarInt(t, vars, "responses_2xx"); got < n {
+		t.Fatalf("responses_2xx = %d, want >= %d", got, n)
+	}
+	if rvarInt(t, vars, "rebalances_total") < 1 {
+		t.Fatal("shard loss produced no rebalance event")
+	}
+	if rvarInt(t, vars, "fallback_total") < 1 {
+		t.Fatal("no request was served by replica fallback — did every key land on the survivor?")
+	}
+}
+
+// TestRouterPropagatesNonRetryable pins transparency: a shard-reported
+// client error (unknown bench) comes back through the router with the same
+// status and machine code, and burns no replica fallback.
+func TestRouterPropagatesNonRetryable(t *testing.T) {
+	fleet, _ := newFleet(t, 2, nil)
+	status, body := post(t, fleet.URL, api.PathAnalyze, api.AnalyzeRequest{Bench: "no-such-bench"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", status, body)
+	}
+	var e api.Error
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != api.CodeBadRequest {
+		t.Fatalf("code %q, want %q", e.Code, api.CodeBadRequest)
+	}
+	if got := rvarInt(t, routerVars(t, fleet.URL), "fallback_total"); got != 0 {
+		t.Fatalf("a non-retryable shard error burned %d replica fallbacks, want 0", got)
+	}
+}
+
+// TestRouterFaultOps covers the new chaos operations: an injected route
+// fault fails the request before any shard is contacted, and an injected
+// forward fault drives the same no-healthy-shard path as a dead replica.
+func TestRouterFaultOps(t *testing.T) {
+	t.Run("route", func(t *testing.T) {
+		fleet, _ := newFleet(t, 1, func(c *Config) {
+			c.Faults = fault.NewInjector(&fault.Schedule{Seed: 1, Rules: []fault.Rule{
+				{Op: fault.OpRoute, Mode: fault.ModeError, Prob: 1},
+			}})
+		})
+		status, body := post(t, fleet.URL, api.PathAnalyze, analyzeReq(0))
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503: %s", status, body)
+		}
+		var e api.Error
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Code != api.CodeNoShards {
+			t.Fatalf("code %q, want %q", e.Code, api.CodeNoShards)
+		}
+	})
+	t.Run("forward", func(t *testing.T) {
+		fleet, _ := newFleet(t, 1, func(c *Config) {
+			c.Replicas = 1
+			c.Faults = fault.NewInjector(&fault.Schedule{Seed: 1, Rules: []fault.Rule{
+				{Op: fault.OpForward, Mode: fault.ModeError, Prob: 1},
+			}})
+		})
+		status, body := post(t, fleet.URL, api.PathAnalyze, analyzeReq(0))
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503: %s", status, body)
+		}
+		vars := routerVars(t, fleet.URL)
+		if got := rvarInt(t, vars, "forwarded_total"); got != 0 {
+			t.Fatalf("forwarded_total = %d with every forward faulted, want 0", got)
+		}
+		if got := rvarInt(t, vars, "unroutable_total"); got < 1 {
+			t.Fatalf("unroutable_total = %d, want >= 1", got)
+		}
+	})
+}
+
+// TestRouterHealthz covers the health document and drain flip.
+func TestRouterHealthz(t *testing.T) {
+	urls := []string{"http://127.0.0.1:1", "http://127.0.0.1:2"}
+	rt, err := New(Config{Shards: urls, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Status string            `json:"status"`
+		Shards map[string]string `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || doc.Status != "ok" || len(doc.Shards) != 2 {
+		t.Fatalf("healthz %d %+v", resp.StatusCode, doc)
+	}
+
+	rt.BeginDrain()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", resp.StatusCode)
+	}
+}

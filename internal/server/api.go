@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/api"
 	"repro/internal/arch"
@@ -203,51 +204,140 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if found {
 		stale = &cached
 	}
-	if !s.admit(r.Context(), w, stale) {
+
+	if s.cfg.CoalesceWindow < 0 {
+		// Coalescing disabled: this request runs a private flight.
+		f := &flight{}
+		f.rec, f.res, f.err = s.runProbeFlight(r.Context(), key, d, chips, spec, req.Seed, th)
+		s.serveFlight(w, f, d, spec, th, stale)
 		return
 	}
-	defer s.lim.release()
-
-	// The breaker gate sits after admission so a half-open trial that wins
-	// the gate always runs (and therefore always reports back): every
-	// return path below passes through onSuccess or onFailure.
-	if !s.brk.allow() {
-		if stale != nil {
-			s.serveStale(w, *stale, "probe circuit breaker open")
+	f, leader := s.flights.join(key)
+	if !leader {
+		// Waiter: park for the leader's outcome, holding no worker slot.
+		s.met.coalesced.Add(1)
+		select {
+		case <-f.done:
+		case <-r.Context().Done():
+			s.met.timeouts.Add(1)
+			if stale != nil {
+				s.serveStale(w, *stale, "request expired awaiting coalesced probe")
+				return
+			}
+			writeError(w, http.StatusGatewayTimeout, api.CodeProbeTimeout, "request expired awaiting coalesced probe: %v", r.Context().Err())
 			return
 		}
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, api.CodeBreakerOpen, "probe circuit breaker open, retry later")
+		s.serveFlight(w, f, d, spec, th, stale)
 		return
 	}
+	s.met.flights.Add(1)
+	f.rec, f.res, f.err = s.runProbeFlight(r.Context(), key, d, chips, spec, req.Seed, th)
+	s.flights.finish(key, f)
+	s.serveFlight(w, f, d, spec, th, stale)
+}
 
-	res, err := s.probe(r.Context(), d, chips, spec, req.Seed)
+// runProbeFlight runs the leader's side of one probe flight: cache
+// double-check, admission, breaker gate, batch-admission window, the probe
+// itself, breaker bookkeeping and the cache insert. It never writes a
+// response — the outcome fans out through the flight, and serveFlight maps
+// it onto each waiting request individually.
+func (s *Server) runProbeFlight(ctx context.Context, key string, d *arch.Desc, chips int, spec *workload.Spec, seed uint64, th float64) (Recommendation, controller.ProbeResult, error) {
+	// Double-check the cache under flight leadership: a previous flight for
+	// this key may have completed between this request's cache miss and its
+	// join, and that freshly cached answer must win over a duplicate probe.
+	if cached, fresh, found := s.cacheGet(ctx, key); found && fresh {
+		cached.Cached = true
+		return cached, controller.ProbeResult{}, nil
+	}
+	if err := s.lim.acquire(ctx); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			return Recommendation{}, controller.ProbeResult{}, errFlightShed
+		}
+		return Recommendation{}, controller.ProbeResult{}, fmt.Errorf("%w: %v", errFlightExpired, err)
+	}
+	defer s.lim.release()
+	// The breaker gate sits after admission so a half-open trial that wins
+	// the gate always runs (and therefore always reports back): every probe
+	// below passes through onSuccess, onFailure or onNeutral.
+	if !s.brk.allow() {
+		return Recommendation{}, controller.ProbeResult{}, errFlightBreaker
+	}
+	if win := s.cfg.CoalesceWindow; win > 0 {
+		// Batch admission: hold the probe back so the rest of a burst can
+		// still join this flight instead of racing it to completion. An
+		// expiring context just falls through — the probe fails fast and the
+		// outcome takes the normal aborted-probe path.
+		t := time.NewTimer(win)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+		t.Stop()
+	}
+	s.met.probes.Add(1)
+	res, err := s.probe(ctx, d, chips, spec, seed)
 	if err != nil {
-		s.probeFailed(w, err, res, d, spec, th, stale)
-		return
+		timedOut := errors.Is(err, context.DeadlineExceeded)
+		canceled := errors.Is(err, context.Canceled) || errors.Is(err, cpu.ErrCanceled)
+		// A client that went away is not a sick probe; only deadline and
+		// organic failures count against the breaker.
+		if timedOut || !canceled {
+			s.brk.onFailure()
+		} else {
+			s.brk.onNeutral()
+		}
+		return Recommendation{}, res, err
 	}
 	s.brk.onSuccess()
 	rec := decide(d, d.MaxSMT, res.Metric, th)
 	rec.WallCycles = res.WallCycles
 	rec.Bench = spec.Name
 	rec.Fingerprint = fmt.Sprintf("%016x", res.Snapshot.Fingerprint())
-	s.cacheAdd(r.Context(), key, rec)
-	writeJSON(w, http.StatusOK, rec)
+	s.cacheAdd(ctx, key, rec)
+	return rec, res, nil
 }
 
-// probeFailed routes a failed probe through the degradation ladder:
+// serveFlight maps one flight outcome onto one request's response,
+// applying that request's own degradation fallback (its stale cached
+// answer, if any). Breaker bookkeeping already happened exactly once in
+// runProbeFlight; here the outcome only has to be rendered.
+func (s *Server) serveFlight(w http.ResponseWriter, f *flight, d *arch.Desc, spec *workload.Spec, th float64, stale *Recommendation) {
+	switch {
+	case f.err == nil:
+		writeJSON(w, http.StatusOK, f.rec)
+	case errors.Is(f.err, errFlightShed):
+		s.met.shed.Add(1)
+		if stale != nil {
+			s.serveStale(w, *stale, "server saturated")
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, api.CodeRateLimited, "worker queue full, retry later")
+	case errors.Is(f.err, errFlightExpired):
+		s.met.timeouts.Add(1)
+		if stale != nil {
+			s.serveStale(w, *stale, "request expired while queued")
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, api.CodeQueueTimeout, "%v", f.err)
+	case errors.Is(f.err, errFlightBreaker):
+		if stale != nil {
+			s.serveStale(w, *stale, "probe circuit breaker open")
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, api.CodeBreakerOpen, "probe circuit breaker open, retry later")
+	default:
+		s.probeDegrade(w, f.err, f.res, d, spec, th, stale)
+	}
+}
+
+// probeDegrade routes a failed probe through the degradation ladder:
 // serve a stale cached answer, else a partial-probe answer, else the
 // api.Error envelope for the failure class.
-func (s *Server) probeFailed(w http.ResponseWriter, err error, res controller.ProbeResult, d *arch.Desc, spec *workload.Spec, th float64, stale *Recommendation) {
+func (s *Server) probeDegrade(w http.ResponseWriter, err error, res controller.ProbeResult, d *arch.Desc, spec *workload.Spec, th float64, stale *Recommendation) {
 	timedOut := errors.Is(err, context.DeadlineExceeded)
 	canceled := errors.Is(err, context.Canceled) || errors.Is(err, cpu.ErrCanceled)
-	// A client that went away is not a sick probe; only deadline and
-	// organic failures count against the breaker.
-	if timedOut || !canceled {
-		s.brk.onFailure()
-	} else {
-		s.brk.onNeutral()
-	}
 	if timedOut || canceled {
 		s.met.timeouts.Add(1)
 		if stale != nil {

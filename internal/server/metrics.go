@@ -30,6 +30,14 @@ type metrics struct {
 	staleServed   atomic.Uint64
 	partialServed atomic.Uint64
 
+	// Coalescing counters: flights counts probe-flight leaders, probes the
+	// simulations actually launched (a flight that resolves on the cache
+	// double-check probes nothing), coalesced the requests that attached to
+	// another request's flight instead of probing for themselves.
+	flights   atomic.Uint64
+	probes    atomic.Uint64
+	coalesced atomic.Uint64
+
 	latency *report.LatencyHistogram
 }
 
@@ -77,6 +85,12 @@ func (s *Server) vars() map[string]any {
 		"degraded_total":       s.met.degraded.Load(),
 		"stale_served_total":   s.met.staleServed.Load(),
 		"partial_served_total": s.met.partialServed.Load(),
+
+		"flights_total":           s.met.flights.Load(),
+		"probes_total":            s.met.probes.Load(),
+		"coalesced_total":         s.met.coalesced.Load(),
+		"flights_in_flight":       s.flights.inFlight(),
+		"coalesce_window_seconds": s.cfg.CoalesceWindow.Seconds(),
 
 		"breaker_state":        s.brk.stateName(),
 		"breaker_opens_total":  s.brk.opens.Load(),

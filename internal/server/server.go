@@ -78,6 +78,13 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker waits before admitting a
 	// half-open trial probe (0 = 10s).
 	BreakerCooldown time.Duration
+	// CoalesceWindow is the batch-admission window for analyze probes: the
+	// leader of a probe flight holds the simulation back this long so a
+	// burst of identical requests spread over the window still coalesces
+	// onto one probe. 0 keeps coalescing for requests that are already in
+	// flight without delaying the leader; negative disables coalescing
+	// entirely (every request probes for itself).
+	CoalesceWindow time.Duration
 	// Faults optionally injects scheduled faults into the probe and cache
 	// paths for chaos testing (nil = no injection; see internal/fault).
 	Faults *fault.Injector
@@ -162,6 +169,7 @@ type Server struct {
 	brk         *breaker
 	met         *metrics
 	mux         *http.ServeMux
+	flights     *flightGroup
 	probe       probeFunc
 	pool        *cpu.Pool
 	draining    atomic.Bool
@@ -185,6 +193,7 @@ func New(cfg Config) (*Server, error) {
 		cache:       newLRUCache(cfg.CacheSize),
 		brk:         newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		met:         newMetrics(),
+		flights:     newFlightGroup(),
 		// At most Workers probes run at once, so Workers machines per
 		// (arch, chips) key covers the steady state.
 		pool: cpu.NewPool(cfg.Workers),

@@ -13,7 +13,11 @@ set -eu
 
 mode=${1:-gate}
 baseline="BENCH_PR4.json"
-out="$(mktemp -d)/bench.out"
+# The raw bench output lands in the CI artifact dir so a failed gate run
+# uploads the numbers it was judging.
+artdir=${CI_ARTIFACT_DIR:-$(mktemp -d)}
+mkdir -p "$artdir"
+out="$artdir/bench.out"
 
 echo "==> benchmark grid (engines x workloads x SMT levels)"
 go test -run '^$' -bench 'BenchmarkEngine|BenchmarkSteadyState' \
