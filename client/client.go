@@ -246,7 +246,7 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte) (api.Rec
 		}
 		return rec, 0, nil
 	}
-	return api.Recommendation{}, parseRetryAfter(resp.Header.Get("Retry-After")), decodeError(resp.StatusCode, raw)
+	return api.Recommendation{}, c.parseRetryAfter(resp.Header.Get("Retry-After")), decodeError(resp.StatusCode, raw)
 }
 
 // attemptContext derives the per-attempt context.
@@ -299,17 +299,28 @@ func retryable(err error) bool {
 	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }
 
-// parseRetryAfter reads the delay-seconds form of Retry-After. The
-// HTTP-date form is ignored — the advisor only ever sends seconds.
-func parseRetryAfter(v string) time.Duration {
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds ("120") or HTTP-date ("Fri, 31 Dec 1999 23:59:59 GMT").
+// Dates are resolved against the client clock, so a skewed or past date
+// degrades to 0 (retry immediately) rather than a bogus long sleep;
+// malformed values also parse to 0.
+func (c *Client) parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(strings.TrimSpace(v))
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(c.now()); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // sleepCtx waits for d or until ctx is done, whichever comes first.

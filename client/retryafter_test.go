@@ -1,0 +1,58 @@
+package client
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter pins both RFC 9110 forms of Retry-After: delay-seconds
+// and HTTP-date, the latter resolved against the client's injected clock.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, time.March, 14, 9, 26, 53, 0, time.UTC)
+	c := &Client{now: func() time.Time { return now }}
+
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"empty", "", 0},
+		{"seconds", "120", 120 * time.Second},
+		{"seconds_zero", "0", 0},
+		{"seconds_padded", "  7 ", 7 * time.Second},
+		{"seconds_negative", "-3", 0},
+		{"garbage", "soon", 0},
+		{"float_rejected", "1.5", 0},
+		{"http_date_future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http_date_now", now.Format(http.TimeFormat), 0},
+		// A past date — the server's clock running behind ours — must
+		// degrade to retry-immediately, never a negative or huge sleep.
+		{"http_date_past", now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		{"http_date_skewed_behind", now.Add(-2 * time.Second).Format(http.TimeFormat), 0},
+		// http.ParseTime also accepts the two obsolete RFC 9110 formats.
+		{"rfc850_date", now.Add(time.Minute).Format(time.RFC850), time.Minute},
+		{"ansic_date", now.Add(time.Minute).Format(time.ANSIC), time.Minute},
+		{"malformed_date", "Fri, 99 Zed 2026 99:99:99 GMT", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := c.parseRetryAfter(tc.v); got != tc.want {
+				t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.v, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseRetryAfterDateRounding: RFC 1123 dates carry whole-second
+// precision, so a client clock mid-second yields the truncated remainder —
+// it must stay non-negative and within a second of the nominal delay.
+func TestParseRetryAfterDateRounding(t *testing.T) {
+	now := time.Date(2026, time.March, 14, 9, 26, 53, 700_000_000, time.UTC)
+	c := &Client{now: func() time.Time { return now }}
+	v := now.Add(10 * time.Second).Format(http.TimeFormat) // whole seconds: the 700ms drops
+	got := c.parseRetryAfter(v)
+	if got <= 9*time.Second-time.Second || got > 10*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %v, want within (9s-1s, 10s]", v, got)
+	}
+}

@@ -77,7 +77,8 @@ type Context struct {
 	core    *Core
 	localID int // index within the core
 	src     isa.Source
-	waker   Waker // src's wake-hint interface, when implemented
+	waker   Waker      // src's wake-hint interface, when implemented
+	exact   ExactWaker // src's exact-idle interface, when implemented
 
 	entries    [histSize]entry
 	head, tail int64 // window is [head, tail); seq numbers are global per context
@@ -121,8 +122,12 @@ func (c *Context) reset(src isa.Source) {
 	}
 	c.src = src
 	c.waker = nil
+	c.exact = nil
 	if w, ok := src.(Waker); ok {
 		c.waker = w
+		if ew, ok := src.(ExactWaker); ok {
+			c.exact = ew
+		}
 	}
 	c.head, c.tail = 0, 0
 	c.fbHead, c.fbLen = 0, 0
@@ -210,11 +215,14 @@ type Core struct {
 	// Event-engine bookkeeping (see engine.go). lastStepped is the last
 	// cycle this core actually stepped; nextEvent is the earliest future
 	// cycle at which stepping it could change state; busyEnd and idleProbe
-	// cache the end-of-step anyBusy and probed-idle conditions.
+	// cache the end-of-step anyBusy and probed-idle conditions. idleExact
+	// is set when every probed-idle context reports ExactIdle, so the run
+	// loop may skip the per-cycle re-probe and follow wake hints instead.
 	lastStepped int64
 	nextEvent   int64
 	busyEnd     bool
 	idleProbe   bool
+	idleExact   bool
 
 	// Counters (see counters.Snapshot for semantics).
 	dispHeldCycles uint64
@@ -275,7 +283,7 @@ func (c *Core) resetState() {
 	c.pf.reset()
 	c.fetchRR, c.dispatchRR, c.retireRR = 0, 0, 0
 	c.lastStepped, c.nextEvent = 0, 0
-	c.busyEnd, c.idleProbe = false, false
+	c.busyEnd, c.idleProbe, c.idleExact = false, false, false
 	c.dispHeldCycles = 0
 	c.retired = 0
 	c.retiredByClass = [isa.NumClasses]uint64{}

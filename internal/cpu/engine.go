@@ -27,10 +27,18 @@ import (
 //     release happens inside the *holder's* Fetch. While any context in
 //     the machine is busy, a core hosting a probed-idle context is
 //     therefore pinned to 1-cycle stepping so the idle source is re-probed
-//     every cycle, exactly as the scan engine probes it. Idle probes are
-//     pure (no source state changes), so when the whole machine is idle no
-//     external wake can occur and the clock may jump to the earliest wake
-//     hint — the scan engine's idleSkip.
+//     every cycle, exactly as the scan engine probes it — UNLESS every
+//     probed-idle context on the core reports ExactIdle: such sources
+//     guarantee the skipped probes are pure and their wake hints only move
+//     through another thread's progress, so the run loop re-reads the
+//     hints once per scheduling round (after every step of that round, so
+//     a grant issued this round is seen) instead of stepping the core
+//     every cycle. Probing an exact-idle source on any cycle before its
+//     hint is indistinguishable from not probing it, which is what keeps
+//     the skip bit-identical to the scan engine. Idle probes are pure (no
+//     source state changes), so when the whole machine is idle no external
+//     wake can occur and the clock may jump to the earliest wake hint —
+//     the scan engine's idleSkip.
 //  3. An empty-pipeline context that was NOT probed on its last stepped
 //     cycle is fetch-stalled on a branch redirect; its source was last
 //     executing instructions, so its wake hint is "now" throughout the
@@ -54,24 +62,127 @@ const neverEvent = int64(1) << 62
 
 // step runs one full cycle on the core and refreshes its event-engine
 // bookkeeping. It returns the number of contexts that finished this cycle.
+//
+// The end-of-cycle bookkeeping (busy accounting, finish detection, the
+// busyEnd/idleProbe/idleExact caches and the fetch-eligibility fast path
+// of computeNextEvent) is folded into one pass over the contexts: this is
+// the hot loop of every stepped cycle, and the separate
+// endCycle+anyBusy+probe-scan passes the scan engine runs cost the event
+// engine its edge on compute-bound cells. The per-context conditions are
+// the same ones endCycle and anyBusy apply — the equivalence suite holds
+// both engines to identical simulations.
 func (c *Core) step(now int64) int {
 	c.stepRetire(now)
 	c.stepIssue(now)
 	c.stepDispatch(now)
 	c.stepFetch(now)
-	finished := c.endCycle(now)
-	c.lastStepped = now
-	c.busyEnd = c.anyBusy()
-	c.idleProbe = false
+	finished := 0
+	busy := false
+	idleProbe := false
+	idleExact := true
+	hot := false
 	for i := 0; i < c.active; i++ {
 		ctx := c.contexts[i]
-		if !ctx.finished && ctx.sawIdleThisCycle {
-			c.idleProbe = true
-			break
+		if ctx.finished {
+			continue
+		}
+		empty := ctx.windowLen() == 0 && ctx.fbLen == 0
+		asleep := false
+		if empty && !ctx.fetchedThisCycle && !ctx.done {
+			if ctx.sawIdleThisCycle {
+				asleep = true
+			} else if ctx.waker != nil {
+				// Not probed this cycle (fetch arbitration); ask the
+				// source whether it is sleeping.
+				asleep = ctx.waker.WakeHint(now) > now
+			}
+		}
+		if !asleep {
+			ctx.busyCycles++
+		}
+		if ctx.done && empty {
+			ctx.finished = true
+			finished++
+			continue
+		}
+		if ctx.fetchedThisCycle || !empty {
+			busy = true
+		}
+		if ctx.sawIdleThisCycle {
+			idleProbe = true
+			if ctx.exact == nil || !ctx.exact.ExactIdle() {
+				idleExact = false
+			}
+		} else if !hot {
+			// Fast paths mirroring computeNextEvent's own now+1 early
+			// returns: a context that is fetch-eligible, dispatch-ready or
+			// retiring next cycle makes that call's answer now+1, so skip
+			// it. These are exactly its fetch/dispatch/retire conditions;
+			// the issue-event case stays on the slow path (it needs the
+			// port-queue scan either way).
+			switch {
+			case !ctx.done && !ctx.fetchBlocked && ctx.fbLen < fetchBufCap &&
+				ctx.fetchStallUntil <= now+1:
+				hot = true
+			case ctx.fbLen > 0 && ctx.windowLen() < c.windowPerCtx &&
+				c.pickPort(ctx.fetchBuf[ctx.fbHead].Class) >= 0:
+				hot = true
+			case ctx.head < ctx.tail:
+				if e := &ctx.entries[ctx.head&histMask]; e.state == entryIssued && e.completeAt <= now+1 {
+					hot = true
+				}
+			}
 		}
 	}
-	c.nextEvent = c.computeNextEvent(now)
+	c.lastStepped = now
+	c.busyEnd = busy
+	c.idleProbe = idleProbe
+	c.idleExact = idleProbe && idleExact
+	if hot {
+		c.nextEvent = now + 1
+	} else {
+		c.nextEvent = c.computeNextEvent(now)
+	}
 	return finished
+}
+
+// exactWake returns the earliest cycle any probed-idle context on c could
+// become runnable according to its exact wake hints, floored to now+1.
+// Only meaningful when c.idleExact holds (every probed-idle context has an
+// ExactWaker).
+func (c *Core) exactWake(now int64) int64 {
+	w := int64(neverEvent)
+	for i := 0; i < c.active; i++ {
+		ctx := c.contexts[i]
+		if ctx.finished || !ctx.sawIdleThisCycle {
+			continue
+		}
+		h := now + 1
+		if hint := ctx.exact.WakeHint(now); hint > h {
+			h = hint
+		}
+		if h < w {
+			w = h
+		}
+	}
+	return w
+}
+
+// exactDue reports whether any probed-idle context on c is runnable at now
+// per its exact wake hint. Only meaningful when c.idleExact holds. It is
+// evaluated at the top of each scheduling round, so a hint moved by a lock
+// grant in an earlier round is always seen before the clock passes it.
+func (c *Core) exactDue(now int64) bool {
+	for i := 0; i < c.active; i++ {
+		ctx := c.contexts[i]
+		if ctx.finished || !ctx.sawIdleThisCycle {
+			continue
+		}
+		if ctx.exact.WakeHint(now) <= now {
+			return true
+		}
+	}
+	return false
 }
 
 // computeNextEvent returns the earliest future cycle at which stepping the
@@ -195,8 +306,8 @@ func (c *Core) fastForward(from, k int64) {
 // settleCores brings every core's bookkeeping up to cycle upto, crediting
 // any still-pending skipped cycles. Called on every run-loop exit so that
 // Counters always reflects the full simulated range.
-func (m *Machine) settleCores(upto int64) {
-	for _, c := range m.cores {
+func (d *domain) settleCores(upto int64) {
+	for _, c := range d.cores {
 		if k := upto - c.lastStepped; k > 0 {
 			c.fastForward(c.lastStepped, k)
 			c.lastStepped = upto
@@ -208,71 +319,95 @@ func (m *Machine) settleCores(upto int64) {
 // event is due and advances the clock to the earliest pending event
 // otherwise. remaining is the count of unfinished sources; deadline is the
 // absolute cycle limit.
-func (m *Machine) runEvent(ctx context.Context, remaining int, deadline int64) (int64, error) {
-	start := m.now
+func (d *domain) runEvent(ctx context.Context, remaining int, deadline int64) (int64, error) {
+	start := d.now
 	nextCheck := start + ctxCheckInterval
-	for _, c := range m.cores {
-		c.lastStepped = m.now - 1
-		c.nextEvent = m.now
+	for _, c := range d.cores {
+		c.lastStepped = d.now - 1
+		c.nextEvent = d.now
 		c.busyEnd = false
 		c.idleProbe = false
+		c.idleExact = false
 	}
 	for remaining > 0 {
-		if m.now >= deadline {
-			m.settleCores(m.now - 1)
-			return m.now - start, ErrCycleLimit
+		if d.now >= deadline {
+			d.settleCores(d.now - 1)
+			return d.now - start, ErrCycleLimit
 		}
-		if m.now >= nextCheck {
-			nextCheck = m.now + ctxCheckInterval
+		if d.now >= nextCheck {
+			nextCheck = d.now + ctxCheckInterval
 			select {
 			case <-ctx.Done():
-				m.settleCores(m.now - 1)
-				return m.now - start, fmt.Errorf("%w after %d cycles: %w", ErrCanceled, m.now-start, ctx.Err())
+				d.settleCores(d.now - 1)
+				return d.now - start, fmt.Errorf("%w after %d cycles: %w", ErrCanceled, d.now-start, ctx.Err())
 			default:
 			}
 		}
+		// One pass steps every due core and accumulates the round's busy
+		// flag, probe flag and earliest hardware event; compute-bound runs
+		// (no probed-idle cores) schedule the next round right here with no
+		// further core pass. An exact-idle core is due when a wake hint has
+		// come within reach — hints are re-read at the top of each round, so
+		// a grant from the previous round is never missed.
 		busy := false
-		for _, c := range m.cores {
-			if c.nextEvent <= m.now {
-				if k := m.now - 1 - c.lastStepped; k > 0 {
+		sawProbe := false
+		next := int64(neverEvent)
+		for _, c := range d.cores {
+			if c.nextEvent <= d.now || (c.idleExact && c.exactDue(d.now)) {
+				if k := d.now - 1 - c.lastStepped; k > 0 {
 					c.fastForward(c.lastStepped, k)
 				}
-				remaining -= c.step(m.now)
+				remaining -= c.step(d.now)
 			}
 			if c.busyEnd {
 				busy = true
 			}
+			if c.idleProbe {
+				sawProbe = true
+			}
+			if c.nextEvent < next {
+				next = c.nextEvent
+			}
 		}
 		if remaining == 0 {
-			m.now++
+			d.now++
 			break
 		}
-		var next int64
 		if busy {
-			next = neverEvent
-			for _, c := range m.cores {
-				if c.idleProbe && m.now+1 < c.nextEvent {
-					// Invariant 2: keep re-probing idle sources every
-					// cycle while anything in the machine is making
-					// progress, so external wakes land on time. Probe
-					// timing is observable (a barrier wake pays its
-					// latency from the probing cycle), so this matches
-					// the scan engine probe for probe.
-					c.nextEvent = m.now + 1
-				}
-				if c.nextEvent < next {
-					next = c.nextEvent
+			if sawProbe {
+				// Hint pass, after every step of this round so lock grants
+				// issued this round are visible.
+				for _, c := range d.cores {
+					if !c.idleProbe || c.nextEvent <= d.now+1 {
+						continue
+					}
+					if c.idleExact {
+						// Invariant 2, exact form: skip the re-probes and
+						// wake with the hint. Not cached in nextEvent — a
+						// grant may move the hint, so every round re-reads
+						// it fresh.
+						if w := c.exactWake(d.now); w < next {
+							next = w
+						}
+					} else {
+						// Invariant 2: keep re-probing probe-sensitive idle
+						// sources every cycle while anything in the machine
+						// is making progress, so external wakes land on
+						// time. Probe timing is observable for them (a
+						// barrier wake pays its latency from the probing
+						// cycle), so this matches the scan engine probe for
+						// probe.
+						c.nextEvent = d.now + 1
+						next = d.now + 1
+					}
 				}
 			}
 		} else {
 			// The whole machine is idle: no external wake can occur, so
 			// jump to the earliest hardware event or wake hint.
-			hard := int64(neverEvent)
+			hard := next
 			hint := int64(neverEvent)
-			for _, c := range m.cores {
-				if c.nextEvent < hard {
-					hard = c.nextEvent
-				}
+			for _, c := range d.cores {
 				if !c.idleProbe {
 					continue
 				}
@@ -281,9 +416,9 @@ func (m *Machine) runEvent(ctx context.Context, remaining int, deadline int64) (
 					if cc.finished || !cc.sawIdleThisCycle {
 						continue
 					}
-					h := m.now + 1
+					h := d.now + 1
 					if cc.waker != nil {
-						if wh := cc.waker.WakeHint(m.now); wh > h {
+						if wh := cc.waker.WakeHint(d.now); wh > h {
 							h = wh
 						}
 					}
@@ -296,26 +431,26 @@ func (m *Machine) runEvent(ctx context.Context, remaining int, deadline int64) (
 				// Pure sleep: the scan engine's idleSkip jumps the clock
 				// without stepping — credit pending skips, then freeze.
 				next = hint
-				if next <= m.now {
-					next = m.now + 1
+				if next <= d.now {
+					next = d.now + 1
 				}
 				if next > deadline {
 					next = deadline
 				}
-				m.settleCores(m.now)
-				for _, c := range m.cores {
+				d.settleCores(d.now)
+				for _, c := range d.cores {
 					c.lastStepped = next - 1
 					c.nextEvent = next
 				}
-				m.now = next
+				d.now = next
 				continue
 			}
 			next = hard
 			if hint < next {
 				next = hint
 			}
-			if next <= m.now {
-				next = m.now + 1
+			if next <= d.now {
+				next = d.now + 1
 			}
 			if next > deadline {
 				next = deadline
@@ -324,20 +459,20 @@ func (m *Machine) runEvent(ctx context.Context, remaining int, deadline int64) (
 			// stretch ends, and a waking thread's first probe can act on
 			// state another core changes that same cycle (a barrier pass),
 			// so every core must step at the jump target.
-			for _, c := range m.cores {
+			for _, c := range d.cores {
 				c.nextEvent = next
 			}
-			m.now = next
+			d.now = next
 			continue
 		}
-		if next <= m.now {
-			next = m.now + 1
+		if next <= d.now {
+			next = d.now + 1
 		}
 		if next > deadline {
 			next = deadline
 		}
-		m.now = next
+		d.now = next
 	}
-	m.settleCores(m.now - 1)
-	return m.now - start, nil
+	d.settleCores(d.now - 1)
+	return d.now - start, nil
 }

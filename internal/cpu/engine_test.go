@@ -54,6 +54,17 @@ func comparePair(t *testing.T, scan, event engineResult) {
 	}
 }
 
+// skipHeavySim gates the multi-minute single-goroutine simulation tests:
+// they run in the plain test stage, and skip under the race detector whose
+// slowdown would blow the CI budget without exercising any concurrency
+// (see race_test.go).
+func skipHeavySim(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("minutes of single-goroutine simulation; covered by the non-race run")
+	}
+}
+
 // TestEngineEquivalenceWorkloads pins the event engine bit-identical to the
 // scan engine on workload-library benchmarks covering the idle paths:
 // compute-bound (EP), memory-bound (CG), blocking locks plus timed sleeps
@@ -61,6 +72,7 @@ func comparePair(t *testing.T, scan, event engineResult) {
 // cap, so the comparison also covers deterministic mid-run interruption
 // (ErrCycleLimit) — counters must match at the exact cut-off cycle.
 func TestEngineEquivalenceWorkloads(t *testing.T) {
+	skipHeavySim(t)
 	cases := []struct {
 		bench     string
 		chips     int
@@ -106,6 +118,7 @@ func TestEngineEquivalenceWorkloads(t *testing.T) {
 // sources (no WakeHint), port-contending mixes, strided memory walks, and
 // unpipelined dividers, to completion rather than under a cap.
 func TestEngineEquivalenceStreams(t *testing.T) {
+	skipHeavySim(t)
 	mk := func() []isa.Source {
 		return []isa.Source{
 			&fixedStream{n: 20_000, class: isa.Int},
@@ -133,6 +146,7 @@ func TestEngineEquivalenceStreams(t *testing.T) {
 // must land exactly where per-cycle stepping leaves them, or the second
 // interval diverges.
 func TestEngineEquivalenceIntervals(t *testing.T) {
+	skipHeavySim(t)
 	spec, err := workload.Get("Dedup")
 	if err != nil {
 		t.Fatal(err)
@@ -214,31 +228,32 @@ func TestIdleNextHintMix(t *testing.T) {
 	a := mkCtx(&hintSource{wake: 5000})
 	b := mkCtx(&hintSource{wake: 3000})
 	a.sawIdleThisCycle, b.sawIdleThisCycle = true, true
-	m.threadCtx = []*Context{a, b}
-	if next, frozen := m.idleNext(now, deadline); next != 3000 || !frozen {
+	d := &domain{cores: m.cores}
+	d.threads = []*Context{a, b}
+	if next, frozen := d.idleNext(now, deadline); next != 3000 || !frozen {
 		t.Fatalf("hinted sleepers: next=%d frozen=%v, want 3000/true", next, frozen)
 	}
 
 	// A hintless idle source pins the jump to now+1 but no further.
 	c := mkCtx(plainIdle{})
 	c.sawIdleThisCycle = true
-	m.threadCtx = []*Context{a, c}
-	if next, frozen := m.idleNext(now, deadline); next != now+1 || !frozen {
+	d.threads = []*Context{a, c}
+	if next, frozen := d.idleNext(now, deadline); next != now+1 || !frozen {
 		t.Fatalf("hintless mix: next=%d frozen=%v, want %d/true", next, frozen, now+1)
 	}
 
 	// A redirect-stalled context: jump to the stall expiry, stepped-equivalent.
 	s := mkCtx(&fixedStream{n: 10, class: isa.Int})
 	s.fetchStallUntil = now + 40
-	m.threadCtx = []*Context{a, s}
-	if next, frozen := m.idleNext(now, deadline); next != now+40 || frozen {
+	d.threads = []*Context{a, s}
+	if next, frozen := d.idleNext(now, deadline); next != now+40 || frozen {
 		t.Fatalf("stalled mix: next=%d frozen=%v, want %d/false", next, frozen, now+40)
 	}
 
 	// Deadline clamps the jump.
-	m.threadCtx = []*Context{a}
+	d.threads = []*Context{a}
 	a.sawIdleThisCycle = true
-	if next, _ := m.idleNext(now, 2000); next != 2000 {
+	if next, _ := d.idleNext(now, 2000); next != 2000 {
 		t.Fatalf("deadline clamp: next=%d, want 2000", next)
 	}
 }

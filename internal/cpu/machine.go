@@ -19,6 +19,10 @@ type Chip struct {
 	cores   []*Core
 	l3      *mem.Cache
 	dram    *mem.DRAM
+	// part is the chip set shared-address DRAM homing interleaves over:
+	// the whole machine in a normal run, the variant's chip subset during
+	// RunBatch (see homeChannel and batch.go).
+	part []*Chip
 }
 
 // Machine is the simulated system: one or more chips of the same
@@ -45,6 +49,24 @@ type Machine struct {
 	// run; counter fractions (dispatch-held per core cycle) are computed
 	// over these, not over cores left idle by a small run.
 	activeCores int
+
+	// dom is the full-machine domain RunContext runs; it lives on the
+	// Machine so the steady-state run path allocates nothing.
+	dom domain
+}
+
+// domain is one independently clocked simulation unit: a set of cores, the
+// software-thread contexts placed on them, and a local clock. A normal
+// RunContext runs one machine-wide domain; RunBatch (batch.go) runs one
+// domain per variant group, on disjoint chip sets, each on its own
+// goroutine. The run loops (runEvent, runScan) are domain methods and touch
+// nothing outside the domain's cores, its threads' shared runtime, and its
+// chips' caches and DRAM — which is what makes batched groups bit-identical
+// to solo runs regardless of GOMAXPROCS.
+type domain struct {
+	cores   []*Core
+	threads []*Context
+	now     int64
 }
 
 // DefaultNUMAPenalty is the extra latency, in cycles, of a DRAM access homed
@@ -78,6 +100,14 @@ func NewMachine(d *arch.Desc, numChips int) (*Machine, error) {
 		}
 		m.chips = append(m.chips, chip)
 	}
+	// Every chip homes shared DRAM across the whole machine by default;
+	// RunBatch narrows the partition per variant group (see batch.go).
+	for _, chip := range m.chips {
+		chip.part = m.chips
+	}
+	// Presize the placement map to the deepest configuration so the run
+	// path never allocates, not even on a machine's first run.
+	m.threadCtx = make([]*Context, 0, len(m.cores)*d.MaxSMT)
 	if err := m.SetSMTLevel(d.MaxSMT); err != nil {
 		return nil, err
 	}
@@ -174,6 +204,26 @@ type Waker interface {
 	WakeHint(now int64) int64
 }
 
+// ExactWaker is an optional Waker extension for sources whose idle state
+// can be probed without observable effect. When ExactIdle reports true, the
+// source guarantees that, until the cycle WakeHint returns, every Fetch
+// probe returns FetchIdle and changes nothing observable — probing it on
+// cycle N or not probing it at all is indistinguishable — and that its
+// WakeHint only moves through another thread's progress (a lock grant),
+// never below the granting cycle. The event engine then skips the per-cycle
+// re-probe of invariant 2 (engine.go) and re-reads the hint once per
+// scheduling round instead, which is what lets blocking-lock-heavy
+// workloads (Dedup) fast-forward past their wait stretches.
+//
+// A source whose wake latency is counted from the probing cycle (a sleeping
+// barrier wait in sched: the waker's arrival is observed by the next probe,
+// and WakeLatency starts there) is probe-SENSITIVE and must report false —
+// the engine keeps the 1-cycle pinning for it.
+type ExactWaker interface {
+	Waker
+	ExactIdle() bool
+}
+
 // ErrCycleLimit is returned by RunContext when maxCycles elapses before every
 // software thread finishes.
 var ErrCycleLimit = errors.New("cpu: cycle limit reached before all threads finished")
@@ -247,42 +297,50 @@ func (m *Machine) RunContext(ctx context.Context, sources []isa.Source, maxCycle
 	}
 
 	deadline := m.now + maxCycles
+	m.dom = domain{cores: m.cores, threads: m.threadCtx, now: m.now}
+	var (
+		wall int64
+		err  error
+	)
 	if m.engine == EngineScan {
-		return m.runScan(ctx, len(sources), deadline)
+		wall, err = m.dom.runScan(ctx, len(sources), deadline)
+	} else {
+		wall, err = m.dom.runEvent(ctx, len(sources), deadline)
 	}
-	return m.runEvent(ctx, len(sources), deadline)
+	m.now = m.dom.now
+	return wall, err
 }
 
 // runScan is the reference run loop: it steps every core on every simulated
 // cycle. The event engine (engine.go) must stay bit-identical to it.
-func (m *Machine) runScan(ctx context.Context, remaining int, deadline int64) (int64, error) {
-	start := m.now
+func (d *domain) runScan(ctx context.Context, remaining int, deadline int64) (int64, error) {
+	start := d.now
 	nextCheck := start + ctxCheckInterval
 	for remaining > 0 {
-		if m.now >= deadline {
-			return m.now - start, ErrCycleLimit
+		if d.now >= deadline {
+			return d.now - start, ErrCycleLimit
 		}
-		if m.now >= nextCheck {
-			nextCheck = m.now + ctxCheckInterval
+		if d.now >= nextCheck {
+			nextCheck = d.now + ctxCheckInterval
 			select {
 			case <-ctx.Done():
-				return m.now - start, fmt.Errorf("%w after %d cycles: %w", ErrCanceled, m.now-start, ctx.Err())
+				return d.now - start, fmt.Errorf("%w after %d cycles: %w", ErrCanceled, d.now-start, ctx.Err())
 			default:
 			}
 		}
 		busy := false
-		for _, core := range m.cores {
-			core.stepRetire(m.now)
-			core.stepIssue(m.now)
-			core.stepDispatch(m.now)
-			core.stepFetch(m.now)
-			remaining -= core.endCycle(m.now)
+		for _, core := range d.cores {
+			core.stepRetire(d.now)
+			core.stepIssue(d.now)
+			core.stepDispatch(d.now)
+			core.stepFetch(d.now)
+			remaining -= core.endCycle(d.now)
 			if !busy && core.anyBusy() {
 				busy = true
 			}
 		}
 		if remaining == 0 {
-			m.now++
+			d.now++
 			break
 		}
 		if !busy {
@@ -292,20 +350,20 @@ func (m *Machine) runScan(ctx context.Context, remaining int, deadline int64) (i
 			// thread is in a self-resolving hardware stall, so the skipped
 			// cycles are stepped-equivalent no-ops and their per-cycle
 			// bookkeeping is applied explicitly.
-			next, frozen := m.idleNext(m.now, deadline)
+			next, frozen := d.idleNext(d.now, deadline)
 			if !frozen {
-				if k := next - m.now - 1; k > 0 {
-					for _, core := range m.cores {
-						core.fastForward(m.now, k)
+				if k := next - d.now - 1; k > 0 {
+					for _, core := range d.cores {
+						core.fastForward(d.now, k)
 					}
 				}
 			}
-			m.now = next
+			d.now = next
 			continue
 		}
-		m.now++
+		d.now++
 	}
-	return m.now - start, nil
+	return d.now - start, nil
 }
 
 // idleNext computes where the clock can jump when every context is idle,
@@ -315,10 +373,10 @@ func (m *Machine) runScan(ctx context.Context, remaining int, deadline int64) (i
 // *its own* readiness to the next cycle rather than degrading the whole
 // machine to 1-cycle stepping; fetch-stalled contexts contribute their
 // redirect-stall expiry.
-func (m *Machine) idleNext(now, deadline int64) (int64, bool) {
+func (d *domain) idleNext(now, deadline int64) (int64, bool) {
 	next := int64(neverEvent)
 	frozen := true
-	for _, cc := range m.threadCtx {
+	for _, cc := range d.threads {
 		if cc == nil || cc.finished || cc.src == nil {
 			continue
 		}
@@ -367,14 +425,22 @@ func (m *Machine) Counters() counters.Snapshot {
 	if active == 0 {
 		active = m.NumCores()
 	}
+	return m.countersOver(m.chips, m.threadCtx, m.now, active)
+}
+
+// countersOver captures a counter snapshot scoped to a chip subset, a thread
+// subset and a clock: the whole machine for Counters, one variant group for
+// RunBatch. A group snapshot taken this way is field-identical to the
+// Counters of a solo machine that ran the same group on the same chips.
+func (m *Machine) countersOver(chips []*Chip, threads []*Context, wall int64, active int) counters.Snapshot {
 	s := counters.Snapshot{
-		WallCycles:   m.now,
+		WallCycles:   wall,
 		ActiveCores:  active,
 		SMTLevel:     m.smtLevel,
-		CoreCycles:   uint64(m.now) * uint64(active),
+		CoreCycles:   uint64(wall) * uint64(active),
 		IssuedByPort: make([]uint64, m.desc.NumPorts),
 	}
-	for _, chip := range m.chips {
+	for _, chip := range chips {
 		s.DramLines += chip.dram.Lines
 		s.DramStall += chip.dram.StallCycles
 		for _, core := range chip.cores {
@@ -393,8 +459,8 @@ func (m *Machine) Counters() counters.Snapshot {
 			s.BranchMispredicts += core.pred.Mispredicts
 		}
 	}
-	s.ThreadBusy = make([]int64, len(m.threadCtx))
-	for i, ctx := range m.threadCtx {
+	s.ThreadBusy = make([]int64, len(threads))
+	for i, ctx := range threads {
 		if ctx != nil {
 			s.ThreadBusy[i] = ctx.busyCycles
 		}

@@ -78,6 +78,7 @@ func TestRunCycleLimit(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
+	skipHeavySim(t)
 	run := func() (int64, uint64) {
 		m := newP7(t, 1)
 		m.SetSMTLevel(4)
@@ -98,6 +99,7 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestAllWorkRetired(t *testing.T) {
+	skipHeavySim(t)
 	m := newP7(t, 1)
 	m.SetSMTLevel(2)
 	spec, _ := workload.Get("Blackscholes")
@@ -114,6 +116,7 @@ func TestAllWorkRetired(t *testing.T) {
 }
 
 func TestSMT4BeatsSMT1ForScalableLowILP(t *testing.T) {
+	skipHeavySim(t)
 	// The paper's headline positive case: EP-style workloads gain from
 	// SMT4 (Fig. 1).
 	spec, _ := workload.Get("EP")
@@ -135,6 +138,7 @@ func TestSMT4BeatsSMT1ForScalableLowILP(t *testing.T) {
 }
 
 func TestSMT4HurtsContendedWorkload(t *testing.T) {
+	skipHeavySim(t)
 	// The paper's headline negative case: heavy lock contention makes
 	// SMT4 slower than SMT1 (SPECjbb-contention in Fig. 7).
 	spec, _ := workload.Get("SPECjbb_contention")
@@ -208,6 +212,7 @@ func TestDispHeldAccounting(t *testing.T) {
 }
 
 func TestBranchCountersFlow(t *testing.T) {
+	skipHeavySim(t)
 	m := newP7(t, 1)
 	m.SetSMTLevel(1)
 	spec, _ := workload.Get("Gafort") // branchy workload
@@ -280,6 +285,7 @@ func TestFewerSourcesThanContexts(t *testing.T) {
 }
 
 func TestNehalemMachine(t *testing.T) {
+	skipHeavySim(t)
 	m, err := NewMachine(arch.Nehalem(), 1)
 	if err != nil {
 		t.Fatal(err)

@@ -145,13 +145,16 @@ func (c *Core) prefetchAhead(line uint64, shared bool, now int64) {
 }
 
 // homeChannel resolves which chip's DRAM serves addr and any cross-chip
-// penalty (see accessMem).
+// penalty (see accessMem). Shared addresses interleave over the chip's
+// partition — the whole machine in a normal run, the variant's chip subset
+// during RunBatch — so a batched variant on k chips homes memory exactly as
+// a solo k-chip machine would.
 func (c *Core) homeChannel(addr uint64, shared bool) (*mem.DRAM, int) {
-	m := c.chip.machine
-	if shared && len(m.chips) > 1 {
-		h := int((addr >> dramHomeShift) % uint64(len(m.chips)))
-		if h != c.chip.id {
-			return m.chips[h].dram, m.numaPenalty
+	chips := c.chip.part
+	if shared && len(chips) > 1 {
+		h := int((addr >> dramHomeShift) % uint64(len(chips)))
+		if ch := chips[h]; ch != c.chip {
+			return ch.dram, c.chip.machine.numaPenalty
 		}
 	}
 	return c.chip.dram, 0

@@ -1,0 +1,10 @@
+//go:build race
+
+package cpu
+
+// raceEnabled lets the multi-minute single-goroutine simulation suites
+// (engine equivalence grids, SMT headline claims) skip under the race
+// detector, whose 10-20x slowdown would push the package past CI budgets.
+// The concurrency tests the detector exists for — chip-parallel RunBatch
+// isolation and determinism — still run.
+const raceEnabled = true

@@ -206,7 +206,7 @@ func New(cfg Config) (*Router, error) {
 // timeout, metrics and access-logging middleware.
 func (rt *Router) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := rt.now()
 		ctx := r.Context()
 		if rt.cfg.RequestTimeout > 0 {
 			var cancel context.CancelFunc
@@ -216,7 +216,7 @@ func (rt *Router) Handler() http.Handler {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 		rt.mux.ServeHTTP(rec, r.WithContext(ctx))
-		elapsed := time.Since(start)
+		elapsed := rt.now().Sub(start)
 		rt.met.observe(rec.status, elapsed)
 		rt.accessLog(r, rec.status, rec.bytes, elapsed)
 	})
@@ -253,7 +253,7 @@ func (rt *Router) accessLog(r *http.Request, status int, bytes int64, elapsed ti
 		return
 	}
 	line, err := json.Marshal(map[string]any{
-		"time":   time.Now().UTC().Format(time.RFC3339Nano),
+		"time":   rt.now().UTC().Format(time.RFC3339Nano),
 		"method": r.Method,
 		"path":   r.URL.Path,
 		"status": status,

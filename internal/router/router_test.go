@@ -306,3 +306,43 @@ func TestRouterHealthz(t *testing.T) {
 		t.Fatalf("draining healthz status %d, want 503", resp.StatusCode)
 	}
 }
+
+// TestAccessLogUsesInjectedClock pins the access-log timestamp to the
+// router's rt.now seam: a frozen clock must stamp every line with the frozen
+// instant (and a zero duration), not the wall clock.
+func TestAccessLogUsesInjectedClock(t *testing.T) {
+	shard := newShard(t)
+	var buf bytes.Buffer
+	rt, err := New(Config{Shards: []string{shard.URL}, Seed: 1, AccessLog: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := time.Date(2026, time.April, 1, 12, 0, 0, 0, time.UTC)
+	rt.now = func() time.Time { return frozen }
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var line struct {
+		Time  string  `json:"time"`
+		Path  string  `json:"path"`
+		DurMS float64 `json:"dur_ms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("unmarshal access log %q: %v", buf.String(), err)
+	}
+	if want := frozen.Format(time.RFC3339Nano); line.Time != want {
+		t.Errorf("log time = %q, want %q (injected clock ignored)", line.Time, want)
+	}
+	if line.Path != "/healthz" {
+		t.Errorf("log path = %q", line.Path)
+	}
+	if line.DurMS != 0 {
+		t.Errorf("dur_ms = %v, want 0 under a frozen clock", line.DurMS)
+	}
+}

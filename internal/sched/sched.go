@@ -103,6 +103,11 @@ type Runtime struct {
 	locks    []lock
 	barriers []barrier
 	threads  []*Thread
+	// maxThreads bounds every lock's waiter queue (a thread waits on at
+	// most one lock), so AddLock can preallocate the queues and the
+	// simulated run path never grows them — lock-heavy workloads would
+	// otherwise pay allocation inside the measured run.
+	maxThreads int
 }
 
 // NewRuntime builds a runtime for the given number of threads.
@@ -110,12 +115,16 @@ func NewRuntime(numThreads int) *Runtime {
 	if numThreads <= 0 {
 		panic("sched: non-positive thread count")
 	}
-	return &Runtime{threads: make([]*Thread, 0, numThreads)}
+	return &Runtime{threads: make([]*Thread, 0, numThreads), maxThreads: numThreads}
 }
 
 // AddLock registers a lock and returns its index.
 func (rt *Runtime) AddLock(kind LockKind) int {
-	rt.locks = append(rt.locks, lock{kind: kind, holder: -1})
+	lk := lock{kind: kind, holder: -1}
+	if kind == BlockingLock {
+		lk.waiters = make([]int32, 0, rt.maxThreads)
+	}
+	rt.locks = append(rt.locks, lk)
 	return len(rt.locks) - 1
 }
 
@@ -409,4 +418,27 @@ func (t *Thread) WakeHint(now int64) int64 {
 	default:
 		return now
 	}
+}
+
+// ExactIdle implements cpu.ExactWaker: it reports whether the thread's
+// current idle state may be probed lazily without observable effect.
+//
+//   - modeSleep and modeLockWake: wakeAt was fixed when the sleep began (or
+//     when the lock was granted at release time), so every probe before
+//     wakeAt returns FetchIdle and changes nothing; WakeHint is exact.
+//   - modeBlockedLock: probes only inspect lockGranted. A grant (made
+//     inside the releasing thread's Fetch) sets wakeAt = release cycle +
+//     WakeLatency, independent of when this thread is next probed, and
+//     WakeHint reports it from the grant onward — so skipped probes are
+//     unobservable and the hint never lands in the past.
+//   - modeSleepBarrier is probe-SENSITIVE: the passing of the barrier is
+//     observed by the next probe, and WakeLatency is counted from that
+//     probing cycle. Skipping probes would move the wake, so it reports
+//     false and the event engine keeps re-probing every cycle.
+func (t *Thread) ExactIdle() bool {
+	switch t.mode {
+	case modeSleep, modeLockWake, modeBlockedLock:
+		return true
+	}
+	return false
 }

@@ -262,20 +262,29 @@ func (s *Server) runProbeFlight(ctx context.Context, key string, d *arch.Desc, c
 	if !s.brk.allow() {
 		return Recommendation{}, controller.ProbeResult{}, errFlightBreaker
 	}
-	if win := s.cfg.CoalesceWindow; win > 0 {
-		// Batch admission: hold the probe back so the rest of a burst can
-		// still join this flight instead of racing it to completion. An
-		// expiring context just falls through — the probe fails fast and the
-		// outcome takes the normal aborted-probe path.
-		t := time.NewTimer(win)
-		select {
-		case <-t.C:
-		case <-ctx.Done():
+	var res controller.ProbeResult
+	var err error
+	if s.batch != nil {
+		// Batching on: the admission window is spent inside the batch
+		// group, draining concurrent distinct probes of this machine shape
+		// into one batched pass (batch.go).
+		res, err = s.batchProbe(ctx, d, chips, spec, seed)
+	} else {
+		if win := s.cfg.CoalesceWindow; win > 0 {
+			// Batch admission: hold the probe back so the rest of a burst can
+			// still join this flight instead of racing it to completion. An
+			// expiring context just falls through — the probe fails fast and the
+			// outcome takes the normal aborted-probe path.
+			t := time.NewTimer(win)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+			}
+			t.Stop()
 		}
-		t.Stop()
+		s.met.probes.Add(1)
+		res, err = s.probe(ctx, d, chips, spec, seed)
 	}
-	s.met.probes.Add(1)
-	res, err := s.probe(ctx, d, chips, spec, seed)
 	if err != nil {
 		timedOut := errors.Is(err, context.DeadlineExceeded)
 		canceled := errors.Is(err, context.Canceled) || errors.Is(err, cpu.ErrCanceled)

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/internal/workload"
+)
+
+// batchTestSpec builds a fast-running custom workload variant.
+func batchTestSpec(name string, chainFrac float64, wsKB int) *workload.Spec {
+	return &workload.Spec{
+		Name:         name,
+		Mix:          workload.Mix{Load: 0.25, Store: 0.1, Branch: 0.15, Int: 0.4, FPVec: 0.1},
+		Chains:       4,
+		ChainFrac:    chainFrac,
+		WorkingSetKB: wsKB,
+		TotalWork:    120_000,
+		IterLen:      1000,
+	}
+}
+
+// batchAnalyzeRequests returns three distinct analyze payloads sharing one
+// machine shape, so a batching server drains them into one pass.
+func batchAnalyzeRequests() []api.AnalyzeRequest {
+	return []api.AnalyzeRequest{
+		{Spec: batchTestSpec("batch-a", 0.3, 4), Seed: 21},
+		{Spec: batchTestSpec("batch-b", 0.6, 4), Seed: 22},
+		{Spec: batchTestSpec("batch-c", 0.3, 256), Seed: 23},
+	}
+}
+
+// postBytes posts a JSON payload and returns the status plus the raw
+// response body, for byte-level comparisons.
+func postBytes(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestBatchedAnalyzeMatchesSolo is the end-to-end batching acceptance test:
+// B concurrent analyze requests for distinct workloads on a batching server
+// drain into one batched simulation pass, and every response body is
+// byte-identical to the one a batchless server produces for the same
+// request.
+func TestBatchedAnalyzeMatchesSolo(t *testing.T) {
+	reqs := batchAnalyzeRequests()
+
+	bcfg := testConfig()
+	bcfg.Workers = 4
+	bcfg.QueueDepth = 4
+	bcfg.CoalesceWindow = 400 * time.Millisecond
+	bcfg.MaxBatch = len(reqs)
+	bs := newTestServer(t, bcfg)
+	bts := httptest.NewServer(bs.Handler())
+	defer bts.Close()
+
+	bodies := make([][]byte, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, raw := postBytes(t, bts.URL+"/v1/analyze", reqs[i])
+			if status != http.StatusOK {
+				t.Errorf("batched request %d: status %d: %s", i, status, raw)
+			}
+			bodies[i] = raw
+		}(i)
+	}
+	wg.Wait()
+
+	if got := bs.met.batches.Load(); got != 1 {
+		t.Errorf("batches_total = %d, want 1 (requests did not drain into one pass)", got)
+	}
+	if got := bs.met.probes.Load(); got != uint64(len(reqs)) {
+		t.Errorf("probes_total = %d, want %d", got, len(reqs))
+	}
+	if got := bs.met.batched.Load(); got != uint64(len(reqs)-1) {
+		t.Errorf("batched_probes_total = %d, want %d", got, len(reqs)-1)
+	}
+
+	scfg := testConfig()
+	ss := newTestServer(t, scfg)
+	sts := httptest.NewServer(ss.Handler())
+	defer sts.Close()
+	for i := range reqs {
+		status, solo := postBytes(t, sts.URL+"/v1/analyze", reqs[i])
+		if status != http.StatusOK {
+			t.Fatalf("solo request %d: status %d: %s", i, status, solo)
+		}
+		if !bytes.Equal(bodies[i], solo) {
+			t.Errorf("request %d: batched response differs from solo:\nbatched: %s\nsolo:    %s",
+				i, bodies[i], solo)
+		}
+	}
+}
+
+// TestBatchConfigValidation pins the MaxBatch configuration contract.
+func TestBatchConfigValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBatch = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative MaxBatch accepted")
+	}
+	cfg = testConfig()
+	cfg.MaxBatch = 4 // no coalesce window
+	if _, err := New(cfg); err == nil {
+		t.Error("MaxBatch without a positive CoalesceWindow accepted")
+	}
+	cfg.CoalesceWindow = 10 * time.Millisecond
+	if _, err := New(cfg); err != nil {
+		t.Errorf("valid batching config rejected: %v", err)
+	}
+}
+
+// TestBatchOfOneStillServes: a batching server with no concurrent traffic
+// runs a batch of one and answers normally.
+func TestBatchOfOneStillServes(t *testing.T) {
+	cfg := testConfig()
+	cfg.CoalesceWindow = 5 * time.Millisecond
+	cfg.MaxBatch = 8
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	status, raw := postBytes(t, ts.URL+"/v1/analyze", batchAnalyzeRequests()[0])
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if got := s.met.batches.Load(); got != 1 {
+		t.Errorf("batches_total = %d, want 1", got)
+	}
+}

@@ -1,0 +1,323 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/internal/arch"
+	"repro/internal/controller"
+	"repro/internal/smtsm"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// waitFor polls cond (1ms cadence) until it holds or the test times out.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// analyzeKey computes the fingerprint key handleAnalyze derives for req with
+// the server's defaults filled in. Kept in lockstep with api.go: if the key
+// format drifts, the sentinel tests below stop coalescing and fail loudly.
+func analyzeKey(t *testing.T, s *Server, req AnalyzeRequest) string {
+	t.Helper()
+	specJSON, err := json.Marshal(req.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("analyze|%s|%d|%d|%016x|%016x",
+		s.defaultArch.Name, s.cfg.Chips, req.Seed,
+		math.Float64bits(s.cfg.Threshold), xrand.HashBytes(specJSON))
+}
+
+// gatedProbeFunc blocks the named spec's probe until release is closed
+// (reporting entry on started); any other spec probes instantly. Both
+// produce the same deterministic snapshot.
+func gatedProbeFunc(calls *atomic.Int64, blockName string, started chan<- struct{}, release <-chan struct{}) probeFunc {
+	return func(ctx context.Context, d *arch.Desc, chips int, spec *workload.Spec, seed uint64) (controller.ProbeResult, error) {
+		calls.Add(1)
+		if spec.Name == blockName {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return controller.ProbeResult{}, ctx.Err()
+			}
+		}
+		snap := highMetricSnapshot()
+		return controller.ProbeResult{
+			WallCycles: int64(snap.WallCycles),
+			Snapshot:   snap,
+			Metric:     smtsm.Compute(d, &snap),
+		}, nil
+	}
+}
+
+// TestCoalesceWaiterDeadlineDuringProbe: a waiter whose request dies while
+// the leader is still probing must unpark on its own context — counted as a
+// timeout — while the leader's probe runs to completion and answers 200.
+func TestCoalesceWaiterDeadlineDuringProbe(t *testing.T) {
+	cfg := testConfig()
+	cfg.CoalesceWindow = time.Millisecond
+	s := newTestServer(t, cfg)
+	var calls atomic.Int64
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.probe = gatedProbeFunc(&calls, "coalesce", started, release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(coalesceReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderStatus := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			leaderStatus <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		leaderStatus <- resp.StatusCode
+	}()
+	<-started // leader is inside the probe, flight open
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	waiterErr := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequestWithContext(wctx, "POST", ts.URL+"/v1/analyze", bytes.NewReader(body))
+		if err != nil {
+			waiterErr <- err
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("waiter unexpectedly got status %d", resp.StatusCode)
+		}
+		waiterErr <- err
+	}()
+	waitFor(t, "waiter to park on the flight", func() bool { return s.met.coalesced.Load() == 1 })
+
+	wcancel() // the waiter's deadline fires mid-probe
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("waiter error = %v, want context.Canceled", err)
+	}
+	waitFor(t, "server to count the waiter timeout", func() bool { return s.met.timeouts.Load() == 1 })
+
+	close(release) // leader finishes normally, unaffected
+	if got := <-leaderStatus; got != http.StatusOK {
+		t.Errorf("leader status = %d, want 200", got)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("probe ran %d times, want 1", got)
+	}
+}
+
+// TestWaitersSeeLeaderSentinels parks real waiters on a flight the test
+// leads, then finishes it with each leader-outcome sentinel in turn: every
+// waiter must map the sentinel through its own degradation path onto the
+// documented status, error code and Retry-After header — with no probe run.
+func TestWaitersSeeLeaderSentinels(t *testing.T) {
+	cases := []struct {
+		name           string
+		sentinel       error
+		wantStatus     int
+		wantCode       string
+		wantRetryAfter bool
+	}{
+		{"shed", errFlightShed, http.StatusTooManyRequests, api.CodeRateLimited, true},
+		{"expired", errFlightExpired, http.StatusServiceUnavailable, api.CodeQueueTimeout, false},
+		{"breaker", errFlightBreaker, http.StatusServiceUnavailable, api.CodeBreakerOpen, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.CoalesceWindow = 50 * time.Millisecond
+			s := newTestServer(t, cfg)
+			var calls atomic.Int64
+			s.probe = countingProbe(&calls, 0)
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			req := coalesceReq()
+			f, leader := s.flights.join(analyzeKey(t, s, req))
+			if !leader {
+				t.Fatal("test did not win flight leadership")
+			}
+			body, err := json.Marshal(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const waiters = 3
+			type reply struct {
+				status int
+				header http.Header
+				body   []byte
+			}
+			replies := make(chan reply, waiters)
+			for i := 0; i < waiters; i++ {
+				go func() {
+					resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+					if err != nil {
+						replies <- reply{status: -1}
+						return
+					}
+					defer resp.Body.Close()
+					raw, _ := io.ReadAll(resp.Body)
+					replies <- reply{resp.StatusCode, resp.Header, raw}
+				}()
+			}
+			waitFor(t, "waiters to park on the flight", func() bool {
+				return s.met.coalesced.Load() == waiters
+			})
+
+			f.err = tc.sentinel
+			s.flights.finish(analyzeKey(t, s, req), f)
+
+			for i := 0; i < waiters; i++ {
+				r := <-replies
+				if r.status == -1 {
+					t.Fatal("waiter transport error")
+				}
+				checkEnvelope(t, r.status, r.header, r.body, tc.wantStatus, tc.wantCode, tc.wantRetryAfter)
+			}
+			if got := calls.Load(); got != 0 {
+				t.Errorf("probe ran %d times under sentinel %v, want 0", got, tc.sentinel)
+			}
+			if got := s.flights.inFlight(); got != 0 {
+				t.Errorf("flights in flight after finish = %d, want 0", got)
+			}
+		})
+	}
+}
+
+// TestCoalesceLeaderExpiredInQueueFansOut drives the errFlightExpired
+// sentinel through the genuine path: the leader's context dies while it is
+// queued for a worker, and every parked waiter must be answered with the
+// queue-timeout envelope, no probe having run for their key.
+func TestCoalesceLeaderExpiredInQueueFansOut(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 4
+	cfg.CoalesceWindow = 50 * time.Millisecond
+	s := newTestServer(t, cfg)
+	var calls atomic.Int64
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.probe = gatedProbeFunc(&calls, "blocker", started, release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	blockReq := coalesceReq()
+	blockReq.Spec.Name = "blocker"
+	blockBody, err := json.Marshal(blockReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockerStatus := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(blockBody))
+		if err != nil {
+			blockerStatus <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		blockerStatus <- resp.StatusCode
+	}()
+	<-started // blocker owns the only worker slot
+
+	body, err := json.Marshal(coalesceReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lctx, lcancel := context.WithCancel(context.Background())
+	defer lcancel()
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		req, err := http.NewRequestWithContext(lctx, "POST", ts.URL+"/v1/analyze", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitFor(t, "leader to queue for a worker", func() bool { return s.lim.queued() == 1 })
+
+	const waiters = 3
+	var wg sync.WaitGroup
+	statuses := make([]int, waiters)
+	codes := make([]string, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+			if err != nil {
+				statuses[i] = -1
+				return
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			statuses[i] = resp.StatusCode
+			var env struct {
+				Code string `json:"code"`
+			}
+			if json.Unmarshal(raw, &env) == nil {
+				codes[i] = env.Code
+			}
+		}(i)
+	}
+	waitFor(t, "waiters to park on the flight", func() bool {
+		return s.met.coalesced.Load() == waiters
+	})
+
+	lcancel() // the queued leader's deadline fires
+	wg.Wait()
+	<-leaderDone
+	for i := range statuses {
+		if statuses[i] != http.StatusServiceUnavailable || codes[i] != api.CodeQueueTimeout {
+			t.Errorf("waiter %d: status %d code %q, want 503 %q",
+				i, statuses[i], codes[i], api.CodeQueueTimeout)
+		}
+	}
+
+	close(release) // let the blocker finish before the server shuts down
+	if got := <-blockerStatus; got != http.StatusOK {
+		t.Errorf("blocker status = %d, want 200", got)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("probe calls = %d, want 1 (the blocker only)", got)
+	}
+}

@@ -38,6 +38,12 @@ type metrics struct {
 	probes    atomic.Uint64
 	coalesced atomic.Uint64
 
+	// Batching counters: batches counts batched simulation passes, batched
+	// the probes that rode along in another leader's pass (the batch
+	// analogue of coalesced).
+	batches atomic.Uint64
+	batched atomic.Uint64
+
 	latency *report.LatencyHistogram
 }
 
@@ -91,6 +97,9 @@ func (s *Server) vars() map[string]any {
 		"coalesced_total":         s.met.coalesced.Load(),
 		"flights_in_flight":       s.flights.inFlight(),
 		"coalesce_window_seconds": s.cfg.CoalesceWindow.Seconds(),
+		"batches_total":           s.met.batches.Load(),
+		"batched_probes_total":    s.met.batched.Load(),
+		"max_batch":               s.cfg.MaxBatch,
 
 		"breaker_state":        s.brk.stateName(),
 		"breaker_opens_total":  s.brk.opens.Load(),

@@ -85,6 +85,13 @@ type Config struct {
 	// flight without delaying the leader; negative disables coalescing
 	// entirely (every request probes for itself).
 	CoalesceWindow time.Duration
+	// MaxBatch, when >= 2, upgrades the admission window from deduplication
+	// to aggregation: up to MaxBatch DISTINCT analyze probes of the same
+	// machine shape (arch, chips) that open within one window drain into a
+	// single batched simulation pass (controller.ProbeBatch), each variant
+	// on its own disjoint chip group. Responses stay byte-identical to solo
+	// probes. Requires a positive CoalesceWindow; 0 or 1 disables batching.
+	MaxBatch int
 	// Faults optionally injects scheduled faults into the probe and cache
 	// paths for chaos testing (nil = no injection; see internal/fault).
 	Faults *fault.Injector
@@ -153,6 +160,12 @@ func (c Config) validate() error {
 	if c.BreakerCooldown < 0 {
 		return fmt.Errorf("server: negative breaker cooldown %v", c.BreakerCooldown)
 	}
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("server: negative max batch %d", c.MaxBatch)
+	}
+	if c.MaxBatch > 1 && c.CoalesceWindow <= 0 {
+		return fmt.Errorf("server: max batch %d needs a positive coalesce window (got %v)", c.MaxBatch, c.CoalesceWindow)
+	}
 	return nil
 }
 
@@ -171,6 +184,8 @@ type Server struct {
 	mux         *http.ServeMux
 	flights     *flightGroup
 	probe       probeFunc
+	batch       *batcher // nil unless MaxBatch >= 2
+	probeBatch  probeBatchFunc
 	pool        *cpu.Pool
 	draining    atomic.Bool
 	logMu       sync.Mutex
@@ -206,6 +221,14 @@ func New(cfg Config) (*Server, error) {
 			return controller.ProbeResult{}, err
 		}
 		return controller.ProbeWith(ctx, s.pool, d, chips, spec, seed)
+	}
+	if cfg.MaxBatch >= 2 {
+		s.batch = newBatcher(cfg.MaxBatch)
+	}
+	// Fault injection for the batched path happens per flight leader inside
+	// batchProbe, before the join, so the pass itself runs clean.
+	s.probeBatch = func(ctx context.Context, d *arch.Desc, chips int, items []controller.BatchItem) ([]controller.BatchResult, error) {
+		return controller.ProbeBatch(ctx, s.pool, d, chips, items)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -6,6 +6,12 @@
 //
 //	benchgate emit  <bench-output-file>                  # canonical JSON on stdout
 //	benchgate check <baseline.json> <bench-output-file>  # exit 1 on regression
+//	benchgate baseline [dir]                             # newest BENCH_PR<n>.json path
+//
+// baseline prints the path of the highest-numbered BENCH_PR<n>.json
+// artifact in dir (default "."), so the gate always judges against the
+// latest checked-in trajectory point; it exits non-zero when no artifact
+// exists at all — a gate with no baseline would pass vacuously.
 //
 // The gate is hardware-neutral: it compares the event/scan speedup ratios
 // (both engines measured in the same process on the same host), not
@@ -13,6 +19,12 @@
 // when
 //
 //   - a ratio cell regresses more than 20% below the checked-in baseline,
+//   - a cell at or above event/scan parity (ratio >= 1.0) in the baseline
+//     falls back below parity — once the event engine beats the scan
+//     engine on a workload it must keep beating it,
+//   - any benchmark cell exceeds 1 allocation per op (the engine's
+//     per-cycle path is allocation-free by design; 1 tolerates testing
+//     harness noise),
 //   - the baseline's memory-bound headline ratio is below the 2.0 floor
 //     (the artifact property this PR claims), or
 //   - the steady-state run path allocates.
@@ -23,6 +35,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -34,6 +48,17 @@ const ratioTolerance = 0.8
 // memoryBoundFloor is the minimum event/scan speedup the baseline must
 // show on its best memory-bound cell.
 const memoryBoundFloor = 2.0
+
+// parityFloor: a cell whose baseline ratio clearly reached event/scan
+// parity must never fall back below it, regardless of the 20% tolerance.
+// Only cells at parityRatchet or above in the baseline carry the floor, so
+// a cell that brushed 1.0x on measurement noise doesn't turn into a flaky
+// gate.
+const parityFloor = 1.0
+const parityRatchet = 1.05
+
+// allocCeiling is the per-op allocation budget for every benchmark cell.
+const allocCeiling = 1.0
 
 // memBenches are the workload-library benchmarks the floor applies to.
 var memBenches = map[string]bool{"CG": true, "Canneal": true}
@@ -88,6 +113,19 @@ func main() {
 		if _, err := fmt.Println(string(out)); err != nil {
 			fail(err)
 		}
+	case "baseline":
+		if len(os.Args) > 3 {
+			usage()
+		}
+		dir := "."
+		if len(os.Args) == 3 {
+			dir = os.Args[2]
+		}
+		path, err := latestBaseline(dir)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(path)
 	case "check":
 		if len(os.Args) != 4 {
 			usage()
@@ -114,8 +152,37 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: benchgate emit <bench-output> | benchgate check <baseline.json> <bench-output>")
+	fmt.Fprintln(os.Stderr, "usage: benchgate emit <bench-output> | benchgate check <baseline.json> <bench-output> | benchgate baseline [dir]")
 	os.Exit(2)
+}
+
+// benchPRName matches trajectory artifacts and captures the PR number.
+var benchPRName = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// latestBaseline returns the path of the highest-numbered BENCH_PR<n>.json
+// in dir. A missing artifact is an error, never an empty result: a gate run
+// with no baseline to judge against must fail loudly, not pass vacuously.
+func latestBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := benchPRName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n <= bestN {
+			continue
+		}
+		best, bestN = filepath.Join(dir, e.Name()), n
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_PR<n>.json baseline in %s — the gate would pass vacuously; run scripts/bench.sh refresh to create one", dir)
+	}
+	return best, nil
 }
 
 func fail(err error) {
@@ -297,6 +364,24 @@ func gate(base, cur *Artifact) []string {
 		if c < b*ratioTolerance {
 			errs = append(errs, fmt.Sprintf(
 				"ratio %s regressed: %.2fx vs baseline %.2fx (>20%% drop)", k, c, b))
+		}
+		// Parity is a ratchet: once a workload's event engine clearly beats
+		// the scan engine, falling back under 1.0 is a regression even
+		// inside the 20% noise tolerance.
+		if b >= parityRatchet && c < parityFloor {
+			errs = append(errs, fmt.Sprintf(
+				"ratio %s fell below event/scan parity: %.2fx (baseline held %.2fx)", k, c, b))
+		}
+	}
+	cellKeys := make([]string, 0, len(cur.Cells))
+	for k := range cur.Cells {
+		cellKeys = append(cellKeys, k)
+	}
+	sort.Strings(cellKeys)
+	for _, k := range cellKeys {
+		if a := cur.Cells[k].AllocsPerOp; a > allocCeiling {
+			errs = append(errs, fmt.Sprintf(
+				"cell %s allocates %.1f allocs/op, want <= %.0f", k, a, allocCeiling))
 		}
 	}
 	if _, ok := cur.Cells["steady"]; !ok {

@@ -94,6 +94,78 @@ func TestGate(t *testing.T) {
 	if errs := gate(base, cur); len(errs) != 1 {
 		t.Fatalf("weak baseline should fail once, got %v", errs)
 	}
+	base.Headline.Ratio = 2.119
+
+	// A cell above 1 alloc/op fails even with healthy ratios.
+	leaky := cur.Cells["EP/smt1"]
+	leaky.AllocsPerOp = 7
+	cur.Cells["EP/smt1"] = leaky
+	if errs := gate(base, cur); len(errs) != 1 {
+		t.Fatalf("allocating cell should fail once, got %v", errs)
+	}
+	leaky.AllocsPerOp = 1 // exactly at the ceiling passes
+	cur.Cells["EP/smt1"] = leaky
+	if errs := gate(base, cur); len(errs) != 0 {
+		t.Fatalf("cell at the alloc ceiling should pass, got %v", errs)
+	}
+}
+
+// TestGateParityRatchet: a cell that held event/scan parity in the baseline
+// must not dip below 1.0, even when the dip is inside the 20% tolerance; a
+// below-parity baseline cell gets no such floor.
+func TestGateParityRatchet(t *testing.T) {
+	base, err := parseBenchFile(writeSample(t, sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := parseBenchFile(writeSample(t, sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Ratios["CG/smt4"] = 1.1 // clearly held parity
+	cur.Ratios["CG/smt4"] = 0.95 // within 20%, but below parity
+	if errs := gate(base, cur); len(errs) != 1 {
+		t.Fatalf("parity loss should fail once, got %v", errs)
+	}
+
+	// EP never reached parity in the baseline, so 0.9 territory is fine.
+	base.Ratios["EP/smt1"] = 0.98
+	cur.Ratios["EP/smt1"] = 0.90
+	cur.Ratios["CG/smt4"] = 1.05
+	if errs := gate(base, cur); len(errs) != 0 {
+		t.Fatalf("below-parity baseline cell should carry no parity floor, got %v", errs)
+	}
+
+	// A baseline cell that only brushed parity (< 1.05) carries no floor:
+	// noise around 1.0 must not make the gate flaky.
+	base.Ratios["EP/smt1"] = 1.01
+	cur.Ratios["EP/smt1"] = 0.97
+	if errs := gate(base, cur); len(errs) != 0 {
+		t.Fatalf("parity-brushing baseline cell should carry no floor, got %v", errs)
+	}
+}
+
+// TestLatestBaseline pins the artifact selection rule: highest PR number
+// wins (numerically, not lexically), and no artifact at all is a loud error
+// rather than a vacuous pass.
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := latestBaseline(dir); err == nil {
+		t.Fatal("empty dir should be an error, not a silent pass")
+	}
+	for _, name := range []string{"BENCH_PR4.json", "BENCH_PR7.json", "BENCH_PR10.json",
+		"BENCH_PRx.json", "BENCH_PR2.json.bak", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := latestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_PR10.json"); got != want {
+		t.Fatalf("latestBaseline = %q, want %q", got, want)
+	}
 }
 
 func TestParseErrors(t *testing.T) {

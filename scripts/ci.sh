@@ -163,6 +163,12 @@ stage_race() {
 	step "race detector (concurrent packages)"
 	go test -race -count=1 ./internal/experiments ./internal/cpu ./internal/sched \
 		./internal/server ./internal/router ./internal/report ./internal/fault ./client
+	# Chip-parallel determinism, explicitly: batched simulation must be
+	# bit-identical to solo runs at any GOMAXPROCS, with the race detector
+	# watching the per-group domain isolation.
+	step "chip-parallel determinism under race"
+	go test -race -count=1 -run 'TestRunBatchDeterminism|TestRunBatchMatchesSolo|TestBatchedAnalyzeMatchesSolo' \
+		./internal/cpu ./internal/server
 }
 
 stage_fuzz() {
