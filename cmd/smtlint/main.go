@@ -6,9 +6,17 @@
 //
 //	go run ./cmd/smtlint ./...
 //	go run ./cmd/smtlint -json ./...
+//	go run ./cmd/smtlint -run conclint,varslint ./...
+//	go run ./cmd/smtlint -write-contract   # regenerate api/contract.lock
+//
+// The JSON form is the smtlint/v2 schema: an object carrying the schema
+// name, the analyzers that ran, the diagnostics in their stable order
+// (file, line, col, analyzer, message), and the per-analyzer count of
+// findings suppressed by //lint:ignore directives — so CI artifacts show
+// not just what fired but how much of the tree runs on exemptions.
 //
 // Exit status: 0 when the tree is clean, 1 when findings were reported,
-// 2 when the module could not be loaded.
+// 2 when the module could not be loaded or the flags were misused.
 package main
 
 import (
@@ -16,13 +24,31 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
 
+// jsonReport is the smtlint/v2 JSON output schema.
+type jsonReport struct {
+	Schema      string            `json:"schema"`
+	Analyzers   []string          `json:"analyzers"`
+	Findings    int               `json:"findings"`
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+	Suppressed  map[string]int    `json:"suppressed"`
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit the smtlint/v2 JSON report")
 	list := flag.Bool("list", false, "list registered analyzers and exit")
+	runNames := flag.String("run", "", "comma-separated analyzer subset to run (default: all)")
+	writeContract := flag.Bool("write-contract", false, "regenerate api/contract.lock from the current api package and exit")
+	printContract := flag.Bool("print-contract", false, "print the current wire contract to stdout and exit")
 	flag.Parse()
 
 	analyzers := lint.All()
@@ -30,7 +56,23 @@ func main() {
 		for _, a := range analyzers {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *runNames != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runNames, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "smtlint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
 	}
 
 	// The only supported scope is the whole module: accept "./..." (or
@@ -38,39 +80,68 @@ func main() {
 	for _, arg := range flag.Args() {
 		if arg != "./..." && arg != "." {
 			fmt.Fprintf(os.Stderr, "smtlint: unsupported pattern %q (only ./... is supported)\n", arg)
-			os.Exit(2)
+			return 2
 		}
 	}
 
 	root, err := lint.ModuleRoot(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smtlint:", err)
-		os.Exit(2)
+		return 2
 	}
-	pkgs, fset, err := lint.LoadModule(root)
+	mod, err := lint.LoadModule(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smtlint:", err)
-		os.Exit(2)
+		return 2
 	}
 
-	diags := lint.Run(fset, pkgs, analyzers)
+	if *writeContract || *printContract {
+		contract, err := lint.WireContract(mod)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smtlint:", err)
+			return 2
+		}
+		if *printContract {
+			os.Stdout.Write(contract)
+			return 0
+		}
+		path := filepath.Join(root, "api", "contract.lock")
+		if err := os.WriteFile(path, contract, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "smtlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "smtlint: wrote %s\n", path)
+		return 0
+	}
+
+	res := lint.Run(mod, analyzers)
 	if *jsonOut {
-		if diags == nil {
-			diags = []lint.Diagnostic{} // a clean tree is [], not null
+		report := jsonReport{
+			Schema:      "smtlint/v2",
+			Findings:    len(res.Diagnostics),
+			Diagnostics: res.Diagnostics,
+			Suppressed:  res.Suppressed,
+		}
+		for _, a := range analyzers {
+			report.Analyzers = append(report.Analyzers, a.Name)
+		}
+		if report.Diagnostics == nil {
+			report.Diagnostics = []lint.Diagnostic{} // a clean tree is [], not null
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintln(os.Stderr, "smtlint:", err)
-			os.Exit(2)
+			return 2
 		}
 	} else {
-		for _, d := range diags {
+		for _, d := range res.Diagnostics {
 			fmt.Println(d)
 		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "smtlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(os.Stderr, "smtlint: %d finding(s)\n", len(res.Diagnostics))
+		return 1
 	}
+	return 0
 }

@@ -70,186 +70,6 @@ func deref(t ast.Expr) ast.Expr {
 	}
 }
 
-// pkgTypes indexes the syntactic type information one package exposes:
-// which named types are maps, and which struct fields have map types. It
-// is what lets the analyzers see through `m.cells` to the map underneath
-// without a full type checker.
-type pkgTypes struct {
-	namedMaps    map[string]bool
-	structFields map[string]map[string]bool // type name -> field name -> is map
-}
-
-// indexPkgTypes scans every type declaration of the package.
-func indexPkgTypes(pkg *Package) *pkgTypes {
-	idx := &pkgTypes{namedMaps: map[string]bool{}, structFields: map[string]map[string]bool{}}
-	for _, f := range pkg.Files {
-		for _, decl := range f.AST.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
-				if !ok {
-					continue
-				}
-				if _, ok := deref(ts.Type).(*ast.MapType); ok {
-					idx.namedMaps[ts.Name.Name] = true
-				}
-				st, ok := ts.Type.(*ast.StructType)
-				if !ok {
-					continue
-				}
-				fields := map[string]bool{}
-				for _, field := range st.Fields.List {
-					isMap := idx.typeIsMap(field.Type)
-					for _, name := range field.Names {
-						fields[name.Name] = isMap
-					}
-				}
-				idx.structFields[ts.Name.Name] = fields
-			}
-		}
-	}
-	return idx
-}
-
-// typeIsMap reports whether a type expression is syntactically a map,
-// directly or through a named map type of the package.
-func (idx *pkgTypes) typeIsMap(t ast.Expr) bool {
-	switch t := deref(t).(type) {
-	case *ast.MapType:
-		return true
-	case *ast.Ident:
-		return idx.namedMaps[t.Name]
-	}
-	return false
-}
-
-// valueIsMap reports whether an expression evaluates to a map that the
-// syntax alone reveals: a map composite literal, make(map[...]...), or a
-// conversion to a map type.
-func (idx *pkgTypes) valueIsMap(e ast.Expr) bool {
-	switch e := e.(type) {
-	case *ast.CompositeLit:
-		return e.Type != nil && idx.typeIsMap(e.Type)
-	case *ast.CallExpr:
-		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) >= 1 {
-			return idx.typeIsMap(e.Args[0])
-		}
-		if len(e.Args) == 1 {
-			return idx.typeIsMap(e.Fun) // conversion to a named map type
-		}
-	case *ast.UnaryExpr:
-		return false
-	}
-	return false
-}
-
-// identType resolves the syntactic type name of a declared identifier via
-// the parser's object resolution: declarations, assignments from composite
-// literals (`m := Matrix{}`, `m := &Matrix{}`), and function/method
-// parameters and receivers all resolve.
-func (idx *pkgTypes) identTypeName(id *ast.Ident) string {
-	if id.Obj == nil {
-		return ""
-	}
-	switch decl := id.Obj.Decl.(type) {
-	case *ast.Field:
-		if t, ok := deref(decl.Type).(*ast.Ident); ok {
-			return t.Name
-		}
-	case *ast.ValueSpec:
-		if decl.Type != nil {
-			if t, ok := deref(decl.Type).(*ast.Ident); ok {
-				return t.Name
-			}
-		}
-		for i, name := range decl.Names {
-			if name.Name == id.Name && i < len(decl.Values) {
-				return compositeTypeName(decl.Values[i])
-			}
-		}
-	case *ast.AssignStmt:
-		if len(decl.Lhs) == len(decl.Rhs) {
-			for i, lhs := range decl.Lhs {
-				if l, ok := lhs.(*ast.Ident); ok && l.Name == id.Name {
-					return compositeTypeName(decl.Rhs[i])
-				}
-			}
-		}
-	}
-	return ""
-}
-
-// compositeTypeName extracts T from `T{...}`, `&T{...}` or `new(T)`.
-func compositeTypeName(e ast.Expr) string {
-	if u, ok := e.(*ast.UnaryExpr); ok {
-		e = u.X
-	}
-	switch e := e.(type) {
-	case *ast.CompositeLit:
-		if t, ok := deref(e.Type).(*ast.Ident); ok {
-			return t.Name
-		}
-	case *ast.CallExpr:
-		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" && len(e.Args) == 1 {
-			if t, ok := e.Args[0].(*ast.Ident); ok {
-				return t.Name
-			}
-		}
-	}
-	return ""
-}
-
-// exprIsMap reports whether the ranged-over expression is a map as far as
-// the syntax of this package reveals. It resolves plain identifiers
-// through their declarations and field selections through the package's
-// struct types; selections on types the package does not declare stay
-// invisible (a documented limit of going without go/types).
-func (idx *pkgTypes) exprIsMap(e ast.Expr) bool {
-	switch e := e.(type) {
-	case *ast.CompositeLit:
-		return e.Type != nil && idx.typeIsMap(e.Type)
-	case *ast.Ident:
-		if e.Obj == nil {
-			return false
-		}
-		switch decl := e.Obj.Decl.(type) {
-		case *ast.Field:
-			return idx.typeIsMap(decl.Type)
-		case *ast.ValueSpec:
-			if decl.Type != nil {
-				return idx.typeIsMap(decl.Type)
-			}
-			for i, name := range decl.Names {
-				if name.Name == e.Name && i < len(decl.Values) {
-					return idx.valueIsMap(decl.Values[i])
-				}
-			}
-		case *ast.AssignStmt:
-			if len(decl.Lhs) == len(decl.Rhs) {
-				for i, lhs := range decl.Lhs {
-					if l, ok := lhs.(*ast.Ident); ok && l.Name == e.Name {
-						return idx.valueIsMap(decl.Rhs[i])
-					}
-				}
-			}
-		}
-	case *ast.SelectorExpr:
-		base, ok := e.X.(*ast.Ident)
-		if !ok {
-			return false
-		}
-		typeName := idx.identTypeName(base)
-		if typeName == "" {
-			return false
-		}
-		return idx.structFields[typeName][e.Sel.Name]
-	}
-	return false
-}
-
 // exprString renders a short source-ish form of simple expressions for
 // diagnostics.
 func exprString(e ast.Expr) string {
@@ -264,4 +84,23 @@ func exprString(e ast.Expr) string {
 		return "composite literal"
 	}
 	return "expression"
+}
+
+// exprKey renders a canonical key for lock-receiver expressions so
+// `m.mu.Lock()` and `m.mu.Unlock()` match up: identifier and field names
+// joined with dots, pointer stars and parens stripped.
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[]"
+	}
+	return ""
 }

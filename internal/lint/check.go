@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/types"
+	"strings"
+)
+
+// Type-checking layer: resolves every package of a Module through the
+// standard library's go/types, with no golang.org/x/tools dependency.
+// Standard-library imports are type-checked from GOROOT source via
+// importer.ForCompiler(fset, "source", ...); module-internal imports are
+// resolved from the Module's own parsed packages, memoized in dependency
+// order. The merged types.Info spans every file — including test files,
+// which are re-checked together with their package so analyzers see
+// resolved objects everywhere.
+//
+// The checker is deliberately lenient: errors accumulate in
+// Module.TypeErrors and checking continues with partial information. The
+// build stage (go build ./...) guards against real compile errors, so on a
+// healthy tree the error list is empty; mid-refactor trees and fixture
+// packages still lint with whatever the checker could resolve.
+
+// checker memoizes the export type-checking of module packages.
+type checker struct {
+	m     *Module
+	std   types.Importer
+	byRel map[string]*Package
+	done  map[string]*types.Package
+}
+
+// importerFunc adapts a closure to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// typeCheck populates m.Info (and m.TypeErrors) for every package of m.
+func typeCheck(m *Module) {
+	m.Info = newInfo()
+	c := &checker{
+		m:     m,
+		std:   importer.ForCompiler(m.Fset, "source", nil),
+		byRel: map[string]*Package{},
+		done:  map[string]*types.Package{},
+	}
+	for _, pkg := range m.Pkgs {
+		c.byRel[pkg.Rel] = pkg
+	}
+	for _, pkg := range m.Pkgs {
+		c.checkPackage(pkg)
+	}
+}
+
+// importPath maps a module-relative directory to its import path.
+func (c *checker) importPath(rel string) string {
+	if rel == "." || c.m.Path == "" {
+		return c.m.Path
+	}
+	return c.m.Path + "/" + rel
+}
+
+// Import resolves one import path: module-internal paths from the loaded
+// packages, everything else from the standard library's source.
+func (c *checker) Import(path string) (*types.Package, error) {
+	if c.m.Path != "" && (path == c.m.Path || strings.HasPrefix(path, c.m.Path+"/")) {
+		rel := "."
+		if path != c.m.Path {
+			rel = strings.TrimPrefix(path, c.m.Path+"/")
+		}
+		pkg := c.byRel[rel]
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import %q names no loaded package", path)
+		}
+		return c.export(pkg)
+	}
+	return c.std.Import(path)
+}
+
+// export type-checks the non-test files of pkg (the unit other packages
+// import), memoized per import path.
+func (c *checker) export(pkg *Package) (*types.Package, error) {
+	path := c.importPath(pkg.Rel)
+	if path == "" {
+		path = pkg.Rel // fixture modules: the rel doubles as the path
+	}
+	if tp, ok := c.done[path]; ok {
+		if tp == nil {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+		return tp, nil
+	}
+	c.done[path] = nil // in progress: a re-entrant import is a cycle
+	var files []*ast.File
+	for _, f := range pkg.Files {
+		if !f.Test && !strings.HasSuffix(f.AST.Name.Name, "_test") {
+			files = append(files, f.AST)
+		}
+	}
+	tp := c.checkFiles(path, files)
+	c.done[path] = tp
+	return tp, nil
+}
+
+// checkPackage runs every check unit a directory needs: the export unit,
+// a combined base+in-package-test unit when _test.go files share the
+// package name, and the external test package when files declare name_test.
+// All units merge into the shared Module.Info.
+func (c *checker) checkPackage(pkg *Package) {
+	var name string
+	var inTest, extTest bool
+	for _, f := range pkg.Files {
+		n := f.AST.Name.Name
+		switch {
+		case strings.HasSuffix(n, "_test"):
+			extTest = true
+		case f.Test:
+			inTest = true
+			name = n
+		default:
+			name = n
+		}
+	}
+	//lint:ignore errlint check errors are collected by the Config.Error handler, not returned
+	_, _ = c.export(pkg)
+
+	path := c.importPath(pkg.Rel)
+	if path == "" {
+		path = pkg.Rel
+	}
+	if inTest {
+		// Re-check base + in-package test files as one unit so test-file
+		// identifiers resolve; entries for base files are overwritten with
+		// objects consistent across the whole unit.
+		var files []*ast.File
+		for _, f := range pkg.Files {
+			if f.AST.Name.Name == name {
+				files = append(files, f.AST)
+			}
+		}
+		c.checkFiles(path, files)
+	}
+	if extTest {
+		var files []*ast.File
+		for _, f := range pkg.Files {
+			if strings.HasSuffix(f.AST.Name.Name, "_test") {
+				files = append(files, f.AST)
+			}
+		}
+		c.checkFiles(path+".test", files)
+	}
+}
+
+// checkFiles runs one go/types check unit, merging into the shared Info
+// and collecting (not propagating) errors.
+func (c *checker) checkFiles(path string, files []*ast.File) *types.Package {
+	conf := types.Config{
+		Importer: importerFunc(c.Import),
+		Error:    func(err error) { c.m.TypeErrors = append(c.m.TypeErrors, err) },
+	}
+	//lint:ignore errlint lenient by design: errors land in Module.TypeErrors via the handler
+	tp, _ := conf.Check(path, c.m.Fset, files, c.m.Info)
+	return tp
+}

@@ -2,6 +2,8 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -26,10 +28,15 @@ var globalRandFuncs = map[string]bool{
 }
 
 // Detlint enforces the determinism contract: simulated results must be a
-// pure function of (workload, config, seed).
+// pure function of (workload, config, seed). v2 replaces the syntactic
+// sorted-keys-idiom heuristic with go/types taint tracking: a map range is
+// only a finding when the iteration's key or value (or data derived from
+// them) actually flows into an order-sensitive sink — an unsorted append,
+// a writer/encoder/hash call, a slice write, string concatenation, or
+// floating-point accumulation.
 var Detlint = &Analyzer{
 	Name: "detlint",
-	Doc:  "forbid wall-clock time, global math/rand, and order-dependent map iteration in deterministic packages",
+	Doc:  "forbid wall-clock time, global math/rand, and map-iteration order flowing into result paths in deterministic packages",
 	Run:  runDetlint,
 }
 
@@ -46,7 +53,6 @@ func runDetlint(p *Pass) {
 	if !inDetScope(p.Pkg.Rel) {
 		return
 	}
-	idx := indexPkgTypes(p.Pkg)
 	for _, f := range p.Pkg.Files {
 		if f.Test {
 			continue // tests may time themselves; they do not produce results
@@ -67,7 +73,7 @@ func runDetlint(p *Pass) {
 				}
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					checkMapRanges(p, idx, n)
+					checkMapRanges(p, n)
 				}
 			}
 			return true
@@ -75,58 +81,160 @@ func runDetlint(p *Pass) {
 	}
 }
 
-// checkMapRanges flags `for k := range m` loops over maps whose bodies
-// feed order-sensitive sinks (append, slice/index writes, or encode/write
-// calls). The one sanctioned shape is exempt: a loop that only collects
-// the keys into a slice that the same function later sorts.
-func checkMapRanges(p *Pass, idx *pkgTypes, fn *ast.FuncDecl) {
+// checkMapRanges walks a function for `for k, v := range m` loops over map
+// types and reports the ones whose key or value taints an order-sensitive
+// sink. The sanctioned shapes fall out naturally: collecting keys into a
+// slice that is later sorted is exempt, and commutative reductions or
+// map-to-map copies taint no sink at all.
+func checkMapRanges(p *Pass, fn *ast.FuncDecl) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok {
 			return true
 		}
-		if !idx.exprIsMap(rng.X) {
+		t := p.TypeOf(rng.X)
+		if t == nil {
+			return true // unresolved: nothing type-aware to say
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		sink := orderSensitiveSink(rng.Body)
-		if sink == "" {
-			return true
+		taint := p.rangeTaint(rng)
+		if len(taint) == 0 {
+			return true // neither key nor value is bound
 		}
-		if isSortedKeysIdiom(fn, rng) {
-			return true
+		if sink := p.firstSink(fn, rng, taint); sink != "" {
+			// Anchor at the range statement: that is where the order enters,
+			// and where a suppression directive reads naturally.
+			p.Reportf(rng.Pos(), "range over map %s feeds %s: map iteration order is random, sort the keys first", exprString(rng.X), sink)
 		}
-		p.Reportf(rng.Pos(), "range over map %s feeds %s: map iteration order is random, sort the keys first", exprString(rng.X), sink)
 		return true
 	})
-	// (suppressions are checked by Reportf)
 }
 
-// orderSensitiveSink scans a range body for statements whose effect
-// depends on iteration order and names the first one found.
-func orderSensitiveSink(body *ast.BlockStmt) string {
+// rangeTaint seeds the taint set with the objects bound by the range
+// statement's key and value, then propagates through assignments inside
+// the loop body until a fixed point: `s := k + ":"` taints s, and so on.
+func (p *Pass) rangeTaint(rng *ast.RangeStmt) map[types.Object]bool {
+	taint := map[types.Object]bool{}
+	bind := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if obj := p.ObjectOf(id); obj != nil {
+			taint[obj] = true
+		}
+	}
+	if rng.Key != nil {
+		bind(rng.Key)
+	}
+	if rng.Value != nil {
+		bind(rng.Value)
+	}
+	if len(taint) == 0 {
+		return taint
+	}
+	for range 4 { // propagation depth bound; chains longer than this are unrealistic
+		grew := false
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || !p.anyTainted(taint, assign.Rhs...) {
+				return true
+			}
+			for _, lhs := range assign.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					if obj := p.ObjectOf(id); obj != nil && !taint[obj] {
+						taint[obj] = true
+						grew = true
+					}
+				}
+			}
+			return true
+		})
+		if !grew {
+			break
+		}
+	}
+	return taint
+}
+
+// anyTainted reports whether any expression mentions a tainted object.
+func (p *Pass) anyTainted(taint map[types.Object]bool, exprs ...ast.Expr) bool {
+	found := false
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := p.ObjectOf(id); obj != nil && taint[obj] {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// writeSinks names the calls whose observable effect depends on argument
+// arrival order: writers, formatters, encoders and hashes.
+var writeSinks = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprintf": true, "Fprintln": true, "Fprint": true,
+	"Printf": true, "Println": true, "Print": true, "Sum": true,
+}
+
+// firstSink scans the range body in source order for the first statement
+// where tainted data reaches an order-sensitive sink, and names it.
+func (p *Pass) firstSink(fn *ast.FuncDecl, rng *ast.RangeStmt, taint map[types.Object]bool) string {
 	sink := ""
-	ast.Inspect(body, func(n ast.Node) bool {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		if sink != "" {
 			return false
 		}
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && id.Obj == nil {
-				sink = "append"
-				return false
-			}
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
-				name := sel.Sel.Name
-				if name == "Write" || name == "WriteString" || name == "WriteByte" ||
-					name == "Encode" || name == "Fprintf" || name == "Fprintln" || name == "Fprint" {
-					sink = sel.Sel.Name + " call"
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && isBuiltin(p.ObjectOf(id)) {
+				if len(n.Args) >= 2 && p.anyTainted(taint, n.Args[1:]...) && !p.appendDestSorted(fn, rng, n) {
+					sink = "append"
 					return false
 				}
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && writeSinks[sel.Sel.Name] && p.anyTainted(taint, n.Args...) {
+				sink = sel.Sel.Name + " call"
+				return false
 			}
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
-				if _, ok := lhs.(*ast.IndexExpr); ok {
-					sink = "indexed write"
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				// A write into another map is order-insensitive (the
+				// destination re-keys it); only slice and array writes
+				// preserve arrival order.
+				switch p.underlying(ix.X).(type) {
+				case *types.Slice, *types.Array:
+					if p.anyTainted(taint, ix.Index) || p.anyTainted(taint, n.Rhs...) {
+						sink = "indexed slice write"
+						return false
+					}
+				}
+			}
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && p.anyTainted(taint, n.Rhs...) {
+				switch b := p.basicKind(n.Lhs[0]); {
+				case b == types.String:
+					sink = "string concatenation"
+					return false
+				case b == types.Float32 || b == types.Float64:
+					sink = "floating-point accumulation (rounding is order-dependent)"
 					return false
 				}
 			}
@@ -136,60 +244,71 @@ func orderSensitiveSink(body *ast.BlockStmt) string {
 	return sink
 }
 
-// isSortedKeysIdiom recognises the canonical fix
-//
-//	for k := range m { keys = append(keys, k) }
-//	sort.Strings(keys) // or slices.Sort / sort.Slice, later in the function
-//
-// the body must be exactly one append of the range key, and the same
-// function must later pass the destination slice to a sort.
-func isSortedKeysIdiom(fn *ast.FuncDecl, rng *ast.RangeStmt) bool {
-	if len(rng.Body.List) != 1 {
-		return false
+// isBuiltin reports whether an object is a predeclared builtin (or was
+// left unresolved, as in fixtures that defeat the type checker).
+func isBuiltin(obj types.Object) bool {
+	if obj == nil {
+		return true
 	}
-	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
-	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
-		return false
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// underlying resolves an expression's underlying type, nil-safe.
+func (p *Pass) underlying(e ast.Expr) types.Type {
+	if t := p.TypeOf(e); t != nil {
+		return t.Underlying()
 	}
-	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	return nil
+}
+
+// basicKind resolves an expression to its basic-type kind, or Invalid.
+func (p *Pass) basicKind(e ast.Expr) types.BasicKind {
+	if b, ok := p.underlying(e).(*types.Basic); ok {
+		return b.Kind()
+	}
+	return types.Invalid
+}
+
+// appendDestSorted reports whether the destination slice of an append is
+// later passed to sort.* or slices.Sort* in the same function — the
+// collect-then-sort idiom, which launders iteration order away no matter
+// how the collection loop is shaped.
+func (p *Pass) appendDestSorted(fn *ast.FuncDecl, rng *ast.RangeStmt, call *ast.CallExpr) bool {
+	destID, ok := call.Args[0].(*ast.Ident)
 	if !ok {
 		return false
 	}
-	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+	dest := p.ObjectOf(destID)
+	if dest == nil {
 		return false
 	}
-	dest, ok := assign.Lhs[0].(*ast.Ident)
-	if !ok {
-		return false
-	}
-	key, ok := rng.Key.(*ast.Ident)
-	if !ok || len(call.Args) != 2 {
-		return false
-	}
-	arg, ok := call.Args[1].(*ast.Ident)
-	if !ok || arg.Name != key.Name {
-		return false
-	}
-	// Look for a later sort.*(dest...) / slices.Sort(dest) call.
 	sorted := false
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		if sorted {
 			return false
 		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() <= rng.End() {
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() <= rng.End() {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
+		sel, ok := c.Fun.(*ast.SelectorExpr)
 		if !ok {
 			return true
 		}
 		pkg, ok := sel.X.(*ast.Ident)
-		if !ok || pkg.Obj != nil || (pkg.Name != "sort" && pkg.Name != "slices") {
+		if !ok {
 			return true
 		}
-		for _, a := range call.Args {
-			if id, ok := a.(*ast.Ident); ok && id.Name == dest.Name {
+		if obj, isPkg := p.ObjectOf(pkg).(*types.PkgName); isPkg {
+			if path := obj.Imported().Path(); path != "sort" && path != "slices" {
+				return true
+			}
+		} else if pkg.Name != "sort" && pkg.Name != "slices" {
+			return true
+		}
+		for _, a := range c.Args {
+			if id, ok := a.(*ast.Ident); ok && p.ObjectOf(id) == dest {
 				sorted = true
 				return false
 			}

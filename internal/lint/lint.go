@@ -1,32 +1,42 @@
-// Package lint is a small static-analysis framework on the standard
-// library's go/parser, go/ast and go/token — no golang.org/x/tools
-// dependency. It exists to machine-check the two invariants this
-// repository's correctness story stands on and the compiler cannot see:
+// Package lint is a static-analysis framework on the standard library's
+// go/parser, go/ast, go/token and go/types — no golang.org/x/tools
+// dependency. It exists to machine-check the invariants this repository's
+// correctness story stands on and the compiler cannot see:
 //
 //   - bit-determinism of simulated results (the golden-artifact gate and
 //     the recommendation cache both break silently if wall-clock time,
 //     global math/rand state, or map iteration order leaks into a result
-//     path), and
+//     path),
 //   - end-to-end context plumbing (deadline and drain guarantees only hold
 //     if cancellation flows through every layer instead of being swallowed
-//     by a stored or background context).
+//     by a stored or background context),
+//   - concurrency hygiene (goroutines with an escape path, locks that are
+//     released on every exit),
+//   - the versioned wire contract (api v1 type shapes pinned against
+//     api/contract.lock), and
+//   - the /debug/vars identity between incremented counters, the exported
+//     metrics document, and the DESIGN.md counter table.
 //
-// The framework loads every package under the module, runs registered
-// analyzers over the syntax trees, and emits diagnostics as
+// The framework loads every package under the module, type-checks the lot
+// (see check.go), runs registered analyzers over the syntax trees with the
+// merged go/types information at hand, and emits diagnostics as
 // "file:line:col: analyzer: message" text or JSON. A finding can be
 // suppressed at the line that triggers it (or the line above) with
 //
 //	//lint:ignore <analyzer> <reason>
 //
 // where the reason is mandatory: every suppression documents why the
-// contract does not apply at that site. See cmd/smtlint for the CLI and
-// DESIGN.md for the contracts each analyzer encodes.
+// contract does not apply at that site. Suppressions are counted per
+// analyzer in the Result so the JSON output can report how much of the
+// tree is running on exemptions. See cmd/smtlint for the CLI and DESIGN.md
+// for the contracts each analyzer encodes.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -57,25 +67,36 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
+// A Result is the outcome of one Run: the surviving diagnostics in their
+// stable order, plus the per-analyzer count of findings that //lint:ignore
+// directives suppressed.
+type Result struct {
+	Diagnostics []Diagnostic   `json:"diagnostics"`
+	Suppressed  map[string]int `json:"suppressed"`
+}
+
 // A Pass is one (analyzer, package) unit of work.
 type Pass struct {
 	Fset *token.FileSet
+	Mod  *Module
 	Pkg  *Package
 
 	analyzer *Analyzer
-	sink     *[]Diagnostic
+	res      *Result
 }
 
 // Reportf records a finding at pos unless a //lint:ignore directive for
-// this analyzer covers the position's line.
+// this analyzer covers the position's line; suppressed findings are
+// counted in the Result instead of dropped silently.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	for _, f := range p.Pkg.Files {
 		if f.Path == position.Filename && f.suppressed(p.analyzer.Name, position.Line) {
+			p.res.Suppressed[p.analyzer.Name]++
 			return
 		}
 	}
-	*p.sink = append(*p.sink, Diagnostic{
+	p.res.Diagnostics = append(p.res.Diagnostics, Diagnostic{
 		File:     position.Filename,
 		Line:     position.Line,
 		Col:      position.Column,
@@ -83,6 +104,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
+
+// TypeOf returns the type of expr, or nil where type checking could not
+// resolve it.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	return p.Mod.Info.TypeOf(expr)
+}
+
+// ObjectOf returns the object an identifier denotes (definition or use),
+// or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Mod.Info.ObjectOf(id)
+}
+
+// Aux returns the named auxiliary module input (DESIGN.md, scripts/ci.sh,
+// api/contract.lock), if loaded.
+func (p *Pass) Aux(name string) ([]byte, bool) { return p.Mod.aux(name) }
 
 // ignoreDirective is one parsed //lint:ignore comment.
 type ignoreDirective struct {
@@ -133,22 +170,27 @@ func parseIgnores(fset *token.FileSet, astFile *ast.File) (ok []ignoreDirective,
 	return ok, malformed
 }
 
-// Run executes the analyzers over the packages and returns the surviving
-// diagnostics sorted by file, line, column and analyzer. Directives naming
-// an unregistered analyzer, and directives too malformed to parse, are
-// reported under the pseudo-analyzer "lint".
-func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	known := make(map[string]bool, len(analyzers))
+// Run executes the analyzers over the module and returns the surviving
+// diagnostics in a stable order (file, line, column, analyzer, message)
+// together with the per-analyzer suppression counts. Directives naming an
+// analyzer registered in neither the full suite nor the given subset, and
+// directives too malformed to parse, are reported under the pseudo-analyzer
+// "lint".
+func Run(m *Module, analyzers []*Analyzer) *Result {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
 
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	res := &Result{Suppressed: map[string]int{}}
+	for _, pkg := range m.Pkgs {
 		for _, f := range pkg.Files {
 			for _, pos := range f.malformed {
-				position := fset.Position(pos)
-				diags = append(diags, Diagnostic{
+				position := m.Fset.Position(pos)
+				res.Diagnostics = append(res.Diagnostics, Diagnostic{
 					File: position.Filename, Line: position.Line, Col: position.Column,
 					Analyzer: "lint",
 					Message:  "malformed directive: want //lint:ignore <analyzer> <reason>",
@@ -156,7 +198,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 			}
 			for _, d := range f.ignores {
 				if !known[d.analyzer] && d.analyzer != "lint" {
-					diags = append(diags, Diagnostic{
+					res.Diagnostics = append(res.Diagnostics, Diagnostic{
 						File: f.Path, Line: d.line, Col: 1,
 						Analyzer: "lint",
 						Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", d.analyzer),
@@ -165,13 +207,13 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 			}
 		}
 		for _, a := range analyzers {
-			pass := &Pass{Fset: fset, Pkg: pkg, analyzer: a, sink: &diags}
+			pass := &Pass{Fset: m.Fset, Mod: m, Pkg: pkg, analyzer: a, res: res}
 			a.Run(pass)
 		}
 	}
 
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -181,12 +223,18 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
+	return res
 }
 
 // All returns the full analyzer suite in registration order.
 func All() []*Analyzer {
-	return []*Analyzer{Detlint, Ctxlint, Printlint, Errlint, Exitlint}
+	return []*Analyzer{
+		Detlint, Ctxlint, Printlint, Errlint, Exitlint,
+		Conclint, Wirelint, Varslint, Racecover,
+	}
 }

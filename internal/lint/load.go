@@ -3,10 +3,13 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -34,6 +37,43 @@ type Package struct {
 	Files []*File
 }
 
+// AuxFiles are the non-Go module inputs some analyzers cross-reference:
+// varslint reads the DESIGN.md counter table, racecover reads the ci.sh
+// race-stage package list, and wirelint reads the pinned wire contract.
+// LoadModule loads whichever of them exist; fixture modules inject them.
+var AuxFiles = []string{"DESIGN.md", "scripts/ci.sh", "api/contract.lock"}
+
+// A Module is one loaded, parsed and type-checked analysis target: the
+// whole repository for cmd/smtlint and TestModuleIsClean, or a single
+// fixture package in the analyzer tests.
+type Module struct {
+	Fset *token.FileSet
+	// Pkgs holds every package, sorted by Rel.
+	Pkgs []*Package
+	// Root is the OS path of the module root ("" for fixture modules).
+	Root string
+	// Path is the module import path from go.mod ("" for fixture modules,
+	// whose files may only import the standard library).
+	Path string
+	// Info is the merged go/types information for every file of every
+	// package. It is never nil, but may be incomplete where type checking
+	// failed (analyzers must tolerate missing entries).
+	Info *types.Info
+	// TypeErrors collects type-check errors. The build stage guarantees a
+	// compiling tree, so on the real module this stays empty; fixture
+	// modules may carry residue (unresolvable imports) by design.
+	TypeErrors []error
+	// Aux maps an AuxFiles name to its content; absent files are absent
+	// keys.
+	Aux map[string][]byte
+}
+
+// Aux returns the named auxiliary input, if loaded.
+func (m *Module) aux(name string) ([]byte, bool) {
+	b, ok := m.Aux[name]
+	return b, ok
+}
+
 // ModuleRoot ascends from dir to the nearest directory containing go.mod.
 func ModuleRoot(dir string) (string, error) {
 	dir, err := filepath.Abs(dir)
@@ -52,6 +92,17 @@ func ModuleRoot(dir string) (string, error) {
 	}
 }
 
+// modulePath extracts the module import path from a go.mod file.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
 // skipDir reports directories the loader never descends into: VCS and
 // editor state, vendored code, and testdata (which holds intentionally
 // violating lint fixtures).
@@ -60,10 +111,14 @@ func skipDir(name string) bool {
 		name == "testdata" || name == "vendor" || name == "node_modules"
 }
 
-// LoadModule parses every package under the module root and returns them
-// sorted by relative path. Parse failures abort the load: a tree that does
-// not parse cannot be meaningfully linted.
-func LoadModule(root string) ([]*Package, *token.FileSet, error) {
+// LoadModule parses every package under the module root, type-checks the
+// lot (standard-library imports resolved from source, module-internal
+// imports resolved from the parsed packages themselves), loads the
+// auxiliary inputs, and returns the assembled Module. Parse failures abort
+// the load: a tree that does not parse cannot be meaningfully linted.
+// Type-check failures do not abort — they land in TypeErrors and the
+// analyzers degrade to the syntax they can still see.
+func LoadModule(root string) (*Module, error) {
 	fset := token.NewFileSet()
 	byDir := map[string]*Package{}
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
@@ -92,6 +147,9 @@ func LoadModule(root string) ([]*Package, *token.FileSet, error) {
 		if err != nil {
 			return err
 		}
+		if buildExcluded(f.AST) {
+			return nil
+		}
 		pkg := byDir[dir]
 		if pkg == nil {
 			pkg = &Package{Rel: dir}
@@ -101,7 +159,7 @@ func LoadModule(root string) ([]*Package, *token.FileSet, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	pkgs := make([]*Package, 0, len(byDir))
@@ -109,7 +167,36 @@ func LoadModule(root string) ([]*Package, *token.FileSet, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Rel < pkgs[j].Rel })
-	return pkgs, fset, nil
+
+	m := &Module{Fset: fset, Pkgs: pkgs, Root: root, Aux: map[string][]byte{}}
+	gomod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m.Path = modulePath(gomod)
+	for _, name := range AuxFiles {
+		if b, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(name))); err == nil {
+			m.Aux[name] = b
+		}
+	}
+	typeCheck(m)
+	return m, nil
+}
+
+// Fixture assembles a Module around already-loaded fixture packages and
+// type-checks them. Fixture files may import only the standard library;
+// aux may inject DESIGN.md / ci.sh / contract.lock stand-ins (nil is an
+// empty aux set).
+func Fixture(fset *token.FileSet, aux map[string][]byte, pkgs ...*Package) *Module {
+	if aux == nil {
+		aux = map[string][]byte{}
+	}
+	sorted := make([]*Package, len(pkgs))
+	copy(sorted, pkgs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Rel < sorted[j].Rel })
+	m := &Module{Fset: fset, Pkgs: sorted, Aux: aux}
+	typeCheck(m)
+	return m
 }
 
 // LoadDir parses the .go files directly inside dir into one package whose
@@ -135,12 +222,52 @@ func LoadDir(fset *token.FileSet, dir, rel string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if buildExcluded(f.AST) {
+			continue
+		}
 		pkg.Files = append(pkg.Files, f)
 	}
 	if len(pkg.Files) == 0 {
 		return nil, fmt.Errorf("lint: no .go files in %s", dir)
 	}
 	return pkg, nil
+}
+
+// buildExcluded reports whether a //go:build constraint excludes the file
+// from the default build configuration the checker models (current
+// GOOS/GOARCH, no extra tags such as race). Excluded files belong to a
+// different build: merging them into the type-check unit would mis-model
+// it — race/norace twin files, for instance, redeclare the same symbol.
+func buildExcluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(defaultBuildTag) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// defaultBuildTag answers constraint tags for the default configuration.
+func defaultBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, runtime.Compiler:
+		return true
+	case "unix":
+		return runtime.GOOS == "linux" || runtime.GOOS == "darwin"
+	}
+	return strings.HasPrefix(tag, "go1.") // the toolchain is current
 }
 
 // parseFile parses one source file, registering it in fset under its

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Racecover keeps the CI race stage honest: any internal package that
+// starts a goroutine anywhere (library or test code — test-only goroutines
+// race against library state too) must be listed in a `go test -race`
+// invocation in scripts/ci.sh. Concurrency that is never raced under the
+// detector is concurrency that is only believed, not checked.
+var Racecover = &Analyzer{
+	Name: "racecover",
+	Doc:  "every internal package containing a go statement appears in a go test -race package list in scripts/ci.sh",
+	Run:  runRacecover,
+}
+
+func runRacecover(p *Pass) {
+	if !strings.HasPrefix(p.Pkg.Rel, "internal/") {
+		return
+	}
+	script, ok := p.Aux("scripts/ci.sh")
+	if !ok {
+		return // fixture without a ci.sh stand-in: nothing to check against
+	}
+	raced := racePackages(script)
+	if raced["./"+p.Pkg.Rel] || raced["./..."] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		if pos, ok := firstGoStmt(f); ok {
+			p.Reportf(pos, "package %s starts goroutines but is missing from the go test -race list in scripts/ci.sh", p.Pkg.Rel)
+			return // one finding per package is enough
+		}
+	}
+}
+
+// firstGoStmt finds the first go statement in a file, tests included.
+func firstGoStmt(f *File) (token.Pos, bool) {
+	pos := token.NoPos
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			pos = g.Pos()
+			return false
+		}
+		return true
+	})
+	return pos, pos != token.NoPos
+}
+
+// racePackages extracts the union of ./pkg tokens appearing on
+// `go test ... -race ...` command lines in a shell script, with backslash
+// line continuations joined first.
+func racePackages(script []byte) map[string]bool {
+	out := map[string]bool{}
+	joined := strings.ReplaceAll(string(script), "\\\n", " ")
+	for _, line := range strings.Split(joined, "\n") {
+		fields := strings.Fields(line)
+		isGoTest := false
+		hasRace := false
+		for i, f := range fields {
+			if f == "go" && i+1 < len(fields) && fields[i+1] == "test" {
+				isGoTest = true
+			}
+			if f == "-race" {
+				hasRace = true
+			}
+		}
+		if !isGoTest || !hasRace {
+			continue
+		}
+		for _, f := range fields {
+			if strings.HasPrefix(f, "./") {
+				out[f] = true
+			}
+		}
+	}
+	return out
+}

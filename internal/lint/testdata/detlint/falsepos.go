@@ -1,0 +1,60 @@
+// False-positive regressions for detlint v2: shapes the v1 syntactic
+// heuristic flagged (or would flag) that the type-aware taint analysis
+// must leave alone. None of these carries a want comment on purpose.
+package fixture
+
+import "sort"
+
+// Map-to-map copy: the destination re-keys every entry, so iteration
+// order cannot be observed. v1 flagged this as an "indexed write".
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Commutative reduction: integer addition is order-insensitive.
+func Total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Collect-then-sort with a filter in the loop: the append destination is
+// sorted after the loop, which launders iteration order away no matter
+// how the collection loop is shaped. v1 only recognised the bare
+// keys-only idiom.
+func ActiveNames(m map[string]int) []string {
+	var names []string
+	for k, v := range m {
+		if v > 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Untainted slice write inside the loop body: the written value does not
+// derive from the iteration, so order cannot leak through it.
+func Touch(m map[string]int, marks []bool) {
+	i := 0
+	for range m {
+		marks[0] = true
+		i++
+	}
+	_ = i
+}
+
+// Untainted append inside the loop: counting, not collecting.
+func Ones(m map[string]int) []int {
+	var ones []int
+	for range m {
+		ones = append(ones, 1)
+	}
+	return ones
+}

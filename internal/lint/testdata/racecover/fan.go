@@ -1,0 +1,12 @@
+// Fixture for racecover: a package that starts goroutines. Whether it is
+// a finding depends entirely on the scripts/ci.sh stand-in the test
+// injects — covered and missing variants share this source.
+package fanout
+
+func Fan(in []int, out chan<- int) {
+	for _, v := range in {
+		go func() { // want racecover "missing from the go test -race list"
+			out <- v
+		}()
+	}
+}

@@ -1,0 +1,64 @@
+// Fixture for varslint: the counter/export/documentation identity. The
+// test injects a DESIGN.md stand-in documenting requests_total,
+// probes_total, dup_a and dup_b — but not lost_total — and declaring one
+// identity that references ghost_total, which nothing exports.
+package server // want varslint "ghost_total"
+
+import "sync/atomic"
+
+type metrics struct {
+	requests atomic.Uint64
+	probes   atomic.Uint64
+	hidden   atomic.Uint64
+	dup      atomic.Uint64
+	lost     atomic.Uint64
+	muted    atomic.Uint64
+}
+
+type shard struct {
+	forwarded atomic.Uint64
+}
+
+type state struct {
+	met    metrics
+	shards []*shard
+}
+
+func (s *state) touch() {
+	s.met.requests.Add(1)
+	s.met.probes.Add(1)
+	s.met.hidden.Add(1) // want varslint "counter hidden is incremented but never exported"
+	s.met.dup.Add(1)
+	s.met.lost.Add(1)
+	//lint:ignore varslint muted is a debug-only counter, deliberately unexported
+	s.met.muted.Add(1)
+	for _, sh := range s.shards {
+		sh.forwarded.Add(1)
+	}
+}
+
+func (s *state) vars() map[string]any {
+	p := s.met.probes.Load()
+	// Aggregation over shards is a derived gauge, not a registration: the
+	// shard counter is registered once, in the per-shard document below.
+	var forwarded uint64
+	for _, sh := range s.shards {
+		f := sh.forwarded.Load()
+		forwarded += f
+	}
+	shards := make([]map[string]any, 0, len(s.shards))
+	for _, sh := range s.shards {
+		shards = append(shards, map[string]any{
+			"forwarded_total": sh.forwarded.Load(),
+		})
+	}
+	return map[string]any{
+		"requests_total":  s.met.requests.Load(),
+		"probes_total":    p,
+		"dup_a":           s.met.dup.Load(),
+		"dup_b":           s.met.dup.Load(),  // want varslint "counter dup is exported 2 times"
+		"lost_total":      s.met.lost.Load(), // want varslint "not documented in the DESIGN.md counter table"
+		"forwarded_total": forwarded,
+		"shards":          shards,
+	}
+}

@@ -1,0 +1,18 @@
+// Fixture for wirelint: a fully-tagged set of v1 wire types. The drift
+// tests compute this package's contract with lint.WireContract and then
+// mutate the lock text to simulate each kind of drift, so the fixture
+// itself stays clean and format changes cannot silently rot a
+// hand-maintained golden lock.
+package api
+
+type MetricRequest struct {
+	Arch   string  `json:"arch"`
+	Factor float64 `json:"factor,omitempty"`
+}
+
+type Recommendation struct {
+	SMTLevel int    `json:"smt_level"`
+	Note     string `json:"note,omitempty"`
+	Status   int    `json:"-"`
+	hidden   int    // unexported: not part of the wire contract
+}

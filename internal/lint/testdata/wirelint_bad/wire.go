@@ -1,0 +1,11 @@
+// Fixture for wirelint rule 1 and the missing-lock case: an api package
+// with an untagged exported field and no pinned contract. The missing-lock
+// finding anchors at the package clause.
+package api // want wirelint "api/contract.lock is missing"
+
+type Payload struct {
+	Tagged   string `json:"tagged"`
+	Untagged string // want wirelint "has no json tag"
+	//lint:ignore wirelint legacy field, tag intentionally absent pending the v2 cut
+	Grandfathered string
+}

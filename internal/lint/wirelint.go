@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Wirelint enforces the versioned wire contract of the api package:
+//
+//   - every exported field of an exported api struct carries an explicit
+//     json tag (`json:"-"` is legal — it documents "never on the wire");
+//   - the full shape of the v1 types (field names, Go types, json tags) is
+//     pinned against the checked-in api/contract.lock, so any drift —
+//     removed or renamed fields, changed types, silently added required
+//     fields — fails lint instead of a golden test three layers
+//     downstream;
+//   - fields added since the lock was cut must be omitempty, the only kind
+//     of addition the v1 contract permits.
+//
+// The lock is regenerated deliberately with `scripts/contract.sh update`
+// (which runs `smtlint -write-contract`); CI runs `scripts/contract.sh
+// check` so the lock can only change when a human chose to change it.
+var Wirelint = &Analyzer{
+	Name: "wirelint",
+	Doc:  "api v1 wire types: explicit json tags, shapes pinned against api/contract.lock, additions omitempty",
+	Run:  runWirelint,
+}
+
+// contractHeader is the first line of a contract.lock file.
+const contractHeader = "# smtlint wire-contract lock v1 — regenerate with scripts/contract.sh update"
+
+// wireField is one exported field of a wire type as the contract sees it.
+type wireField struct {
+	Name string
+	Type string // fully-qualified go/types rendering
+	Tag  string // raw json tag value ("arch,omitempty", "-"); "" if absent
+	pos  token.Pos
+}
+
+// wireType is one exported struct of the api package.
+type wireType struct {
+	Name   string
+	Fields []wireField // sorted by field name
+	pos    token.Pos
+}
+
+// collectWireTypes gathers the exported structs of an api package with
+// their go/types field renderings, sorted by type name.
+func collectWireTypes(p *Pass) []wireType {
+	var out []wireType
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				wt := wireType{Name: ts.Name.Name, pos: ts.Pos()}
+				for _, field := range st.Fields.List {
+					tag := ""
+					hasTag := false
+					if field.Tag != nil {
+						raw := strings.Trim(field.Tag.Value, "`")
+						tag, hasTag = reflect.StructTag(raw).Lookup("json")
+					}
+					typeStr := "?"
+					if t := p.TypeOf(field.Type); t != nil {
+						typeStr = types.TypeString(t, nil)
+					}
+					names := field.Names
+					if len(names) == 0 {
+						// Embedded field: contract-name it by its type.
+						wt.Fields = append(wt.Fields, wireField{
+							Name: embeddedName(field.Type), Type: typeStr, Tag: tagOrNone(tag, hasTag), pos: field.Pos(),
+						})
+						continue
+					}
+					for _, name := range names {
+						if !name.IsExported() {
+							continue
+						}
+						wt.Fields = append(wt.Fields, wireField{
+							Name: name.Name, Type: typeStr, Tag: tagOrNone(tag, hasTag), pos: name.Pos(),
+						})
+					}
+				}
+				sort.Slice(wt.Fields, func(i, j int) bool { return wt.Fields[i].Name < wt.Fields[j].Name })
+				out = append(out, wt)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func tagOrNone(tag string, has bool) string {
+	if !has {
+		return ""
+	}
+	return tag
+}
+
+// embeddedName renders the contract name of an embedded field.
+func embeddedName(t ast.Expr) string {
+	switch t := deref(t).(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return "?"
+}
+
+// renderContract serializes wire types into the line-based lock format:
+//
+//	type AnalyzeRequest
+//	  Arch string json=arch,omitempty
+func renderContract(wts []wireType) []byte {
+	var b strings.Builder
+	b.WriteString(contractHeader + "\n")
+	for _, wt := range wts {
+		fmt.Fprintf(&b, "type %s\n", wt.Name)
+		for _, f := range wt.Fields {
+			tag := f.Tag
+			if tag == "" {
+				tag = "?"
+			}
+			fmt.Fprintf(&b, "  %s %s json=%s\n", f.Name, f.Type, tag)
+		}
+	}
+	return []byte(b.String())
+}
+
+// WireContract renders the current wire contract of the module's api
+// package, for `smtlint -write-contract` / `-print-contract`.
+func WireContract(m *Module) ([]byte, error) {
+	for _, pkg := range m.Pkgs {
+		if pkg.Rel != "api" {
+			continue
+		}
+		pass := &Pass{Fset: m.Fset, Mod: m, Pkg: pkg, analyzer: Wirelint, res: &Result{Suppressed: map[string]int{}}}
+		return renderContract(collectWireTypes(pass)), nil
+	}
+	return nil, fmt.Errorf("lint: module has no api package to pin")
+}
+
+// parseContract reads a lock file back into type -> field -> (type, tag).
+func parseContract(lock []byte) map[string]map[string]wireField {
+	out := map[string]map[string]wireField{}
+	cur := ""
+	for _, line := range strings.Split(string(lock), "\n") {
+		if strings.HasPrefix(line, "#") || strings.TrimSpace(line) == "" {
+			continue
+		}
+		if name, ok := strings.CutPrefix(line, "type "); ok {
+			cur = strings.TrimSpace(name)
+			out[cur] = map[string]wireField{}
+			continue
+		}
+		if cur == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[len(fields)-1], "json=") {
+			continue
+		}
+		tag := strings.TrimPrefix(fields[len(fields)-1], "json=")
+		if tag == "?" {
+			tag = ""
+		}
+		out[cur][fields[0]] = wireField{
+			Name: fields[0],
+			Type: strings.Join(fields[1:len(fields)-1], " "),
+			Tag:  tag,
+		}
+	}
+	return out
+}
+
+func runWirelint(p *Pass) {
+	if p.Pkg.Rel != "api" {
+		return
+	}
+	got := collectWireTypes(p)
+
+	// Rule 1, lock-independent: exported fields carry explicit json tags.
+	for _, wt := range got {
+		for _, f := range wt.Fields {
+			if f.Tag == "" {
+				p.Reportf(f.pos, "exported field %s.%s has no json tag: every api wire field spells its name (or json:\"-\") explicitly", wt.Name, f.Name)
+			}
+		}
+	}
+
+	// Rule 2: the shapes must match the pinned contract.
+	lock, ok := p.Aux("api/contract.lock")
+	if !ok {
+		pos := token.NoPos
+		if len(p.Pkg.Files) > 0 {
+			pos = p.Pkg.Files[0].AST.Pos()
+		}
+		p.Reportf(pos, "api/contract.lock is missing: run scripts/contract.sh update to pin the wire contract")
+		return
+	}
+	pinned := parseContract(lock)
+
+	gotNames := map[string]bool{}
+	for _, wt := range got {
+		gotNames[wt.Name] = true
+		pf, pinnedType := pinned[wt.Name]
+		if !pinnedType {
+			p.Reportf(wt.pos, "wire type %s is not pinned in api/contract.lock: run scripts/contract.sh update", wt.Name)
+			continue
+		}
+		seen := map[string]bool{}
+		for _, f := range wt.Fields {
+			seen[f.Name] = true
+			want, pinnedField := pf[f.Name]
+			if !pinnedField {
+				if !strings.Contains(f.Tag, "omitempty") && f.Tag != "-" {
+					p.Reportf(f.pos, "new field %s.%s must be omitempty (or json:\"-\"): v1 additions are optional by contract", wt.Name, f.Name)
+				} else {
+					p.Reportf(f.pos, "field %s.%s is not pinned in api/contract.lock: run scripts/contract.sh update", wt.Name, f.Name)
+				}
+				continue
+			}
+			if f.Tag != want.Tag {
+				p.Reportf(f.pos, "field %s.%s json tag changed (%q -> %q): pinned v1 spellings never change", wt.Name, f.Name, want.Tag, f.Tag)
+			}
+			if f.Type != want.Type && f.Type != "?" && want.Type != "?" {
+				p.Reportf(f.pos, "field %s.%s type changed (%s -> %s): pinned v1 types never change", wt.Name, f.Name, want.Type, f.Type)
+			}
+		}
+		for name := range pf {
+			if !seen[name] {
+				p.Reportf(wt.pos, "field %s.%s was removed but is pinned in api/contract.lock: v1 never removes fields", wt.Name, name)
+			}
+		}
+	}
+	for name := range pinned {
+		if !gotNames[name] {
+			pos := token.NoPos
+			if len(p.Pkg.Files) > 0 {
+				pos = p.Pkg.Files[0].AST.Pos()
+			}
+			p.Reportf(pos, "wire type %s was removed but is pinned in api/contract.lock: v1 never removes types", name)
+		}
+	}
+}

@@ -45,8 +45,17 @@ wait_healthy() {
 stage_lint() {
 	step "build"
 	go build ./...
+	step "wire-contract lock check"
+	scripts/contract.sh check
 	step "lint (smtlint + vet + gofmt)"
-	go run ./cmd/smtlint ./...
+	# The smtlint/v2 JSON report is the failure artifact: diagnostics plus
+	# the per-analyzer suppression tally.
+	ok=0
+	go run ./cmd/smtlint -json ./... >"$artdir/smtlint.json" || ok=$?
+	if [ "$ok" -ne 0 ]; then
+		cat "$artdir/smtlint.json"
+		fail "smtlint found issues (report: $artdir/smtlint.json)"
+	fi
 	go vet ./...
 	out="$(gofmt -l .)"
 	if [ -n "$out" ]; then
@@ -160,9 +169,15 @@ stage_fleet() {
 }
 
 stage_race() {
+	# racecover cross-checks the package list below against every
+	# internal/* package that starts a goroutine, so additions to the tree
+	# cannot silently dodge the detector.
+	step "race-coverage check (smtlint racecover)"
+	go run ./cmd/smtlint -run racecover ./...
 	step "race detector (concurrent packages)"
 	go test -race -count=1 ./internal/experiments ./internal/cpu ./internal/sched \
-		./internal/server ./internal/router ./internal/report ./internal/fault ./client
+		./internal/server ./internal/router ./internal/report ./internal/fault \
+		./internal/controller ./client
 	# Chip-parallel determinism, explicitly: batched simulation must be
 	# bit-identical to solo runs at any GOMAXPROCS, with the race detector
 	# watching the per-group domain isolation.

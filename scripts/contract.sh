@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Wire-contract lock tool for the api package.
+#
+# Usage:
+#   scripts/contract.sh check    # verify api/contract.lock matches the tree (CI)
+#   scripts/contract.sh update   # regenerate api/contract.lock (local, deliberate)
+#
+# The lock pins the v1 wire types' full shape (field names, Go types, json
+# tags); wirelint checks the tree against it on every lint run. CI only
+# ever checks — the lock changes exclusively through a human running
+# `update` and committing the result, which is what makes contract drift
+# a reviewed decision instead of an accident.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+case "${1:-check}" in
+update)
+	go run ./cmd/smtlint -write-contract
+	;;
+check)
+	[ -f api/contract.lock ] || {
+		echo "contract.sh: api/contract.lock is missing; run scripts/contract.sh update and commit it" >&2
+		exit 1
+	}
+	tmp=$(mktemp)
+	trap 'rm -f "$tmp"' EXIT
+	go run ./cmd/smtlint -print-contract >"$tmp"
+	if ! diff -u api/contract.lock "$tmp"; then
+		echo "contract.sh: api/contract.lock is stale; if the wire-contract change is intentional, run scripts/contract.sh update and commit the diff" >&2
+		exit 1
+	fi
+	;;
+*)
+	echo "contract.sh: unknown subcommand '$1' (want: check or update)" >&2
+	exit 2
+	;;
+esac
