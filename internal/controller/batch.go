@@ -39,6 +39,15 @@ type BatchResult struct {
 // Cancellation via ctx interrupts every group and each reports its partial
 // observation, mirroring ProbeWith.
 func ProbeBatch(ctx context.Context, pool *cpu.Pool, d *arch.Desc, chips int, items []BatchItem) ([]BatchResult, error) {
+	return (&Prober{Pool: pool}).ProbeBatch(ctx, d, chips, items)
+}
+
+// ProbeBatch is the batched pass with the Prober's amortization layers:
+// the combined machine comes from p.Pool and each variant's compiled
+// workload from p.Cache when present. Repeated variants across batches —
+// the common case for coalesced server flights replaying popular specs —
+// share one immutable compiled Program and only stamp per-run state.
+func (p *Prober) ProbeBatch(ctx context.Context, d *arch.Desc, chips int, items []BatchItem) ([]BatchResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -50,24 +59,31 @@ func ProbeBatch(ctx context.Context, pool *cpu.Pool, d *arch.Desc, chips int, it
 	}
 	var m *cpu.Machine
 	var err error
-	if pool != nil {
-		m, err = pool.Get(d, chips*len(items))
+	if p.Pool != nil {
+		m, err = p.Pool.Get(d, chips*len(items))
 	} else {
 		m, err = cpu.NewMachine(d, chips*len(items))
 	}
 	if err != nil {
 		return nil, err
 	}
-	if pool != nil {
-		defer pool.Put(m)
+	if p.Pool != nil {
+		defer p.Pool.Put(m)
+	}
+	// A pool Get can block behind other borrowers; re-check the deadline
+	// before instantiating and simulating on the caller's budget.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Each group gets the hardware threads a solo chips-chip machine would
 	// expose, and its own instantiation — sched state (locks, barriers) must
-	// never be shared across groups (see cpu.RunBatch).
+	// never be shared across groups (see cpu.RunBatch). Instances stamped
+	// from one cached Program keep that property: only the compile-time
+	// tables are shared, never runtime state.
 	hwPer := m.HardwareThreads() / len(items)
 	groups := make([][]isa.Source, len(items))
 	for i, it := range items {
-		inst, ierr := workload.Instantiate(it.Spec, hwPer, it.Seed)
+		inst, ierr := p.Cache.Instantiate(it.Spec, hwPer, it.Seed)
 		if ierr != nil {
 			return nil, fmt.Errorf("batch item %d (%s): %w", i, it.Spec.Name, ierr)
 		}

@@ -157,7 +157,10 @@ type IntervalResult struct {
 // returns the intervals completed so far together with the context's
 // error.
 func RunAdaptiveContext(ctx context.Context, m *cpu.Machine, ctrl *Controller, src WorkSource, maxCycles int64) ([]IntervalResult, int64, error) {
-	var log []IntervalResult
+	// Adaptive runs log one entry per interval and real runs span dozens of
+	// intervals; start with room for them so the steady state appends
+	// without reallocating the log every few intervals.
+	log := make([]IntervalResult, 0, 64)
 	var total int64
 	if err := m.SetSMTLevel(ctrl.Level()); err != nil {
 		return nil, 0, err
@@ -216,7 +219,7 @@ type ProbeResult struct {
 // path) inspect the partial snapshot; callers that cannot simply honour
 // the error.
 func Probe(ctx context.Context, d *arch.Desc, chips int, spec *workload.Spec, seed uint64) (ProbeResult, error) {
-	return ProbeWith(ctx, nil, d, chips, spec, seed)
+	return (&Prober{}).Probe(ctx, d, chips, spec, seed)
 }
 
 // ProbeWith is Probe with an optional machine pool: when pool is non-nil the
@@ -224,6 +227,24 @@ func Probe(ctx context.Context, d *arch.Desc, chips int, spec *workload.Spec, se
 // callers (smtservd, the experiment matrix) amortize machine construction.
 // A nil pool builds a machine per call, exactly as Probe always has.
 func ProbeWith(ctx context.Context, pool *cpu.Pool, d *arch.Desc, chips int, spec *workload.Spec, seed uint64) (ProbeResult, error) {
+	return (&Prober{Pool: pool}).Probe(ctx, d, chips, spec, seed)
+}
+
+// Prober bundles the two amortization layers a hot probe path wants: a
+// machine pool (reuses simulated machines across probes) and a workload
+// program cache (reuses compiled instruction-stream tables across probes of
+// the same spec). Both fields are optional — a zero Prober builds machines
+// and compiles workloads per call — so callers opt into exactly the reuse
+// they need. The results are bit-identical either way.
+type Prober struct {
+	Pool  *cpu.Pool
+	Cache *workload.Cache
+}
+
+// Probe measures spec at the maximum SMT level exactly as the package-level
+// Probe does, borrowing the machine from p.Pool and the compiled workload
+// from p.Cache when present.
+func (p *Prober) Probe(ctx context.Context, d *arch.Desc, chips int, spec *workload.Spec, seed uint64) (ProbeResult, error) {
 	// The simulator polls ctx only every few thousand simulated cycles; a
 	// short probe can finish before the first poll, so check up front that
 	// the caller still wants the result.
@@ -232,18 +253,24 @@ func ProbeWith(ctx context.Context, pool *cpu.Pool, d *arch.Desc, chips int, spe
 	}
 	var m *cpu.Machine
 	var err error
-	if pool != nil {
-		m, err = pool.Get(d, chips)
+	if p.Pool != nil {
+		m, err = p.Pool.Get(d, chips)
 	} else {
 		m, err = cpu.NewMachine(d, chips)
 	}
 	if err != nil {
 		return ProbeResult{}, err
 	}
-	if pool != nil {
-		defer pool.Put(m)
+	if p.Pool != nil {
+		defer p.Pool.Put(m)
 	}
-	inst, err := workload.Instantiate(spec, m.HardwareThreads(), seed)
+	// A pool Get can block behind other borrowers; the deadline may have
+	// passed while this probe waited for a machine, so re-check before
+	// spending simulation time.
+	if err := ctx.Err(); err != nil {
+		return ProbeResult{}, err
+	}
+	inst, err := p.Cache.Instantiate(spec, m.HardwareThreads(), seed)
 	if err != nil {
 		return ProbeResult{}, err
 	}

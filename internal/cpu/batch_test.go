@@ -22,6 +22,12 @@ type batchVariant struct {
 // use the same cap, so capped runs stay bit-comparable.
 const batchCap = 150_000
 
+// batchProgs is a shared instantiation cache for the batch side of the
+// identity tests: batch groups are stamped from cached immutable Programs
+// while the solo side compiles fresh, so the batch-vs-solo comparison also
+// pins cache-stamped instances bit-identical to fresh instantiations.
+var batchProgs = workload.NewCache(0)
+
 // runVariantsBatch runs the variants through one RunBatch on a fresh
 // machine with chipsPer chips per variant.
 func runVariantsBatch(t *testing.T, engine Engine, variants []batchVariant, chipsPer int) []BatchResult {
@@ -37,7 +43,7 @@ func runVariantsBatch(t *testing.T, engine Engine, variants []batchVariant, chip
 		if err != nil {
 			t.Fatal(err)
 		}
-		inst, err := workload.Instantiate(spec, hwPer, v.seed)
+		inst, err := batchProgs.Instantiate(spec, hwPer, v.seed)
 		if err != nil {
 			t.Fatal(err)
 		}

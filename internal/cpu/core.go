@@ -77,8 +77,9 @@ type Context struct {
 	core    *Core
 	localID int // index within the core
 	src     isa.Source
-	waker   Waker      // src's wake-hint interface, when implemented
-	exact   ExactWaker // src's exact-idle interface, when implemented
+	waker   Waker         // src's wake-hint interface, when implemented
+	exact   ExactWaker    // src's exact-idle interface, when implemented
+	runner  ComputeRunner // src's compute-run interface, when implemented
 
 	entries    [histSize]entry
 	head, tail int64 // window is [head, tail); seq numbers are global per context
@@ -123,11 +124,15 @@ func (c *Context) reset(src isa.Source) {
 	c.src = src
 	c.waker = nil
 	c.exact = nil
+	c.runner = nil
 	if w, ok := src.(Waker); ok {
 		c.waker = w
 		if ew, ok := src.(ExactWaker); ok {
 			c.exact = ew
 		}
+	}
+	if r, ok := src.(ComputeRunner); ok {
+		c.runner = r
 	}
 	c.head, c.tail = 0, 0
 	c.fbHead, c.fbLen = 0, 0

@@ -60,6 +60,170 @@ import (
 // or progress only possible through another context's action).
 const neverEvent = int64(1) << 62
 
+// Macro-stepping: when every unfinished thread in the domain sits inside a
+// homogeneous compute run — its source (a ComputeRunner) guarantees the
+// next k Fetch calls all return FetchOK, with no lock, barrier, sleep or
+// end-of-work boundary inside the run — the engine retires a whole stretch
+// of cycles in one bulk update (macroStep) instead of running the per-cycle
+// event bookkeeping. The macro loop executes the exact per-cycle stage
+// sequence the scan engine runs (retire, issue, dispatch, fetch, per core
+// in domain order), so the microarchitectural simulation is bit-identical
+// by construction; what it elides is the event-engine overhead around it —
+// next-event computation, the merged end-of-cycle flag pass, and the
+// round-loop scheduling — plus the scan engine's endCycle/anyBusy passes,
+// whose effects are reconstructed arithmetically:
+//
+//   - busy accounting: a thread with a positive guaranteed compute run is
+//     never asleep (its pipeline is fed or it is mid-redirect with WakeHint
+//     "now"), so every unfinished context accrues exactly span busy cycles;
+//   - finish detection: within a span of S cycles a context consumes at
+//     most S×FetchWidth fetches (each Fetch call in the guarantee window
+//     returns FetchOK and consumes one budget unit, so no call past the
+//     guaranteed run can occur while S×FetchWidth ≤ run) — FetchDone and
+//     FetchIdle are unreachable, no context finishes or sleeps mid-span;
+//   - dispatch-held accounting is accrued by stepDispatch itself.
+//
+// The event-horizon check gating entry (runEvent) is conservative on every
+// axis: the machine must be busy with no probed-idle context anywhere
+// (sawProbe — external wakes and probe-timing observability stay on the
+// exact path), every core must be due next cycle or fully finished
+// (allHot — anything with a scheduled future event falls back to the exact
+// loop), the span is capped by the cycle deadline so ErrCycleLimit cuts at
+// the identical cycle, and a warmup streak (macroWarmup) keeps
+// stall-skipping workloads — where the event engine profits from NOT
+// stepping — off the macro path. Spans are chunked (macroChunk) so the
+// guarantee and the horizon are re-checked from fresh state every few dozen
+// cycles, and runs shorter than macroMinSpan cycles are not worth the
+// span computation and fall through to normal stepping.
+
+const (
+	// macroChunk is the span cap in cycles: a bulk update never outruns the
+	// re-check of the event horizon by more than this. It matches the
+	// largest span the sched lookahead cap can justify (maxComputeRun /
+	// FetchWidth on POWER7), so long compute runs pay one horizon re-check
+	// per cap-sized span rather than two, and it stays far below
+	// ctxCheckInterval, so cancellation polls stay effectively on time.
+	macroChunk = 512
+	// macroWarmup is the number of consecutive all-hot busy rounds required
+	// before macro-stepping engages.
+	macroWarmup = 8
+	// macroHotHorizon is how far ahead a core's next event may sit while the
+	// core still counts as compute-hot: it covers the short bubbles of
+	// chain-bound compute (ALU/FP completions, divides, L1-L3 hits) without
+	// admitting the DRAM-latency stalls the event engine profits from
+	// skipping (POWER7: FPDiv 26, L3 27, DRAM 230).
+	macroHotHorizon = 32
+	// macroMinSpan is the minimum profitable span in cycles; shorter
+	// guaranteed runs are stepped normally.
+	macroMinSpan = 4
+)
+
+// macroRun returns the number of Fetch calls guaranteed to return FetchOK
+// for every unfinished context on the core — the minimum of the contexts'
+// ComputeRun guarantees, zero when any unfinished context offers none.
+// A fully finished core returns neverEvent (no constraint).
+func (c *Core) macroRun() int64 {
+	run := int64(neverEvent)
+	for i := 0; i < c.active; i++ {
+		ctx := c.contexts[i]
+		if ctx.finished {
+			continue
+		}
+		if ctx.runner == nil {
+			return 0
+		}
+		r := ctx.runner.ComputeRun()
+		if r <= 0 {
+			return 0
+		}
+		if r < run {
+			run = r
+		}
+	}
+	return run
+}
+
+// allHot reports whether every core is due to step within the hot horizon
+// or has no scheduled event at all (with no probed-idle context in the
+// machine, the latter means fully finished). A core with a distant future
+// event — a pending DRAM completion, a fetch-redirect expiry — makes the
+// domain non-hot: the event engine profits from skipping toward that
+// event, so macro-stepping stays out of the way.
+func (d *domain) allHot() bool {
+	for _, c := range d.cores {
+		if c.nextEvent > d.now+macroHotHorizon && c.nextEvent != neverEvent {
+			return false
+		}
+	}
+	return true
+}
+
+// macroSpan computes the bulk-steppable span starting at cycle d.now+1: the
+// machine-wide minimum guaranteed compute run divided by the fetch width
+// (the per-core, per-cycle upper bound on fetch consumption), capped by the
+// chunk size and the cycle deadline. Zero means no profitable span.
+func (d *domain) macroSpan(deadline int64) int64 {
+	fw := int64(d.cores[0].arch.FetchWidth)
+	run := int64(neverEvent)
+	for _, c := range d.cores {
+		r := c.macroRun()
+		if r < run {
+			run = r
+			// Bail on the first core that sinks the span below profit
+			// (barrier- and lock-adjacent rounds reject here every time,
+			// without polling the remaining cores' runs).
+			if run < macroMinSpan*fw {
+				return 0
+			}
+		}
+	}
+	span := run / fw
+	if span > macroChunk {
+		span = macroChunk
+	}
+	if lim := deadline - d.now - 1; span > lim {
+		span = lim
+	}
+	return span
+}
+
+// macroStep bulk-executes cycles [from, from+span) — the exact scan-engine
+// stage sequence per cycle — and applies the elided per-cycle accounting
+// arithmetically (see the macro-stepping invariants above). Pending
+// fast-forwards are settled first so stale cores (due exactly at from, or
+// fully finished) enter the stretch with their bookkeeping current.
+func (d *domain) macroStep(from, span int64) {
+	for _, c := range d.cores {
+		if k := from - 1 - c.lastStepped; k > 0 {
+			c.fastForward(c.lastStepped, k)
+		}
+	}
+	for cy := from; cy < from+span; cy++ {
+		for _, c := range d.cores {
+			c.stepRetire(cy)
+			c.stepIssue(cy)
+			c.stepDispatch(cy)
+			c.stepFetch(cy)
+		}
+	}
+	for _, c := range d.cores {
+		for i := 0; i < c.active; i++ {
+			ctx := c.contexts[i]
+			if !ctx.finished {
+				ctx.busyCycles += span
+			}
+		}
+		c.lastStepped = from + span - 1
+		// Every core steps again on the next round, which refreshes the
+		// busy/probe flags and the true next event from post-span state.
+		c.nextEvent = from + span
+		c.busyEnd = true
+		c.idleProbe = false
+		c.idleExact = false
+	}
+	d.now = from + span
+}
+
 // step runs one full cycle on the core and refreshes its event-engine
 // bookkeeping. It returns the number of contexts that finished this cycle.
 //
@@ -374,6 +538,21 @@ func (d *domain) runEvent(ctx context.Context, remaining int, deadline int64) (i
 			break
 		}
 		if busy {
+			if !sawProbe && d.allHot() {
+				// Macro-stepping candidate: every core is compute-hot. After
+				// the warmup streak, bulk-step the machine-wide guaranteed
+				// compute run (chunked, deadline-capped); on any failed
+				// condition fall through to the exact 1-cycle round.
+				d.hotStreak++
+				if d.hotStreak >= macroWarmup {
+					if span := d.macroSpan(deadline); span > 0 {
+						d.macroStep(d.now+1, span)
+						continue
+					}
+				}
+			} else {
+				d.hotStreak = 0
+			}
 			if sawProbe {
 				// Hint pass, after every step of this round so lock grants
 				// issued this round are visible.
@@ -405,6 +584,7 @@ func (d *domain) runEvent(ctx context.Context, remaining int, deadline int64) (i
 		} else {
 			// The whole machine is idle: no external wake can occur, so
 			// jump to the earliest hardware event or wake hint.
+			d.hotStreak = 0
 			hard := next
 			hint := int64(neverEvent)
 			for _, c := range d.cores {

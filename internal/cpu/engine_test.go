@@ -81,7 +81,9 @@ func TestEngineEquivalenceWorkloads(t *testing.T) {
 		maxCycles int64
 	}{
 		{"EP", 1, 1, 1, 400_000},
+		{"EP", 1, 2, 1, 400_000},
 		{"EP", 1, 4, 1, 400_000},
+		{"MG", 1, 4, 6, 400_000},
 		{"CG", 1, 2, 2, 400_000},
 		{"CG", 2, 2, 2, 300_000},
 		{"Dedup", 1, 4, 3, 600_000},

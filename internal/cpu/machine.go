@@ -67,6 +67,12 @@ type domain struct {
 	cores   []*Core
 	threads []*Context
 	now     int64
+
+	// hotStreak counts consecutive event-engine rounds in which every core
+	// was busy, probe-free and due next cycle — the macro-stepping warmup
+	// gate (engine.go). It is zero on every fresh domain, so each run (and
+	// each RunBatch group) warms up independently.
+	hotStreak int
 }
 
 // DefaultNUMAPenalty is the extra latency, in cycles, of a DRAM access homed
@@ -222,6 +228,20 @@ type Waker interface {
 type ExactWaker interface {
 	Waker
 	ExactIdle() bool
+}
+
+// ComputeRunner is an optional isa.Source extension for macro-stepping
+// (engine.go): ComputeRun returns the number of successive Fetch calls the
+// source GUARANTEES will return FetchOK from its current state, regardless
+// of the cycle values passed — no FetchIdle, no FetchDone, no dependence on
+// other threads' progress within that run. Zero means no guarantee. The
+// event engine uses the machine-wide minimum run to bulk-step a stretch of
+// cycles with the per-cycle event bookkeeping elided; soundness of that
+// bulk accounting rests entirely on this guarantee, so implementations must
+// be conservative (stop counting at any lock, barrier, sleep or
+// end-of-work boundary whose outcome depends on runtime state).
+type ComputeRunner interface {
+	ComputeRun() int64
 }
 
 // ErrCycleLimit is returned by RunContext when maxCycles elapses before every

@@ -19,6 +19,10 @@ type fixedStream struct {
 	mask  uint64 // wraps the address walk (0 = unbounded)
 }
 
+// ComputeRun implements ComputeRunner: every remaining instruction is a
+// guaranteed FetchOK, so fixed streams exercise the macro-stepping path.
+func (f *fixedStream) ComputeRun() int64 { return f.n }
+
 func (f *fixedStream) Fetch(now int64, out *isa.Inst) isa.FetchStatus {
 	if f.n <= 0 {
 		return isa.FetchDone

@@ -113,6 +113,45 @@ func TestRandomWorkloadInvariants(t *testing.T) {
 	}
 }
 
+// TestMacroStepMatchesScanReferee drives the macro-stepping fast path with
+// randomised workloads and pins it bit-identical to the scan referee.
+// Even-numbered trials strip every synchronisation feature, producing the
+// long homogeneous compute runs that keep the engine inside bulk-retired
+// spans almost permanently; odd trials keep randomSpec's full feature mix
+// so entry/exit boundaries (locks, barriers, sleeps, drains) are crossed
+// constantly. Every trial runs under a random cycle cap, so the cut
+// regularly lands inside a would-be bulk-retired run — the deadline clamp
+// in macroSpan must reproduce the scan engine's exact partial counters.
+func TestMacroStepMatchesScanReferee(t *testing.T) {
+	skipHeavySim(t)
+	rng := xrand.New(20260809)
+	for trial := 0; trial < 10; trial++ {
+		spec := randomSpec(rng)
+		if trial%2 == 0 {
+			spec.LockEvery, spec.CritLen = 0, 0
+			spec.BarrierEvery = 0
+			spec.SerialEvery, spec.SerialLen = 0, 0
+			spec.SleepEvery, spec.SleepCycles = 0, 0
+			spec.TotalWork = int64(60_000 + rng.Intn(60_000))
+		}
+		smt := []int{1, 2, 4}[rng.Intn(3)]
+		seed := uint64(trial)
+		maxCycles := int64(2_000 + rng.Intn(150_000))
+		d := arch.POWER7()
+		threads := d.CoresPerChip * smt
+		mk := func() []isa.Source {
+			inst, err := workload.Instantiate(spec, threads, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return inst.Sources()
+		}
+		scan := runWithEngine(t, EngineScan, d, 1, smt, mk(), maxCycles)
+		event := runWithEngine(t, EngineEvent, d, 1, smt, mk(), maxCycles)
+		comparePair(t, scan, event)
+	}
+}
+
 // TestRandomTracesReplayIdentically records random spec streams through the
 // machine twice via fresh instantiations, confirming end-to-end stream
 // stability (the foundation the Matrix cache relies on).

@@ -30,9 +30,11 @@ var Conclint = &Analyzer{
 }
 
 // lockScope lists the packages whose locks guard the serving path; the
-// copy and unlock disciplines are enforced there.
+// copy and unlock disciplines are enforced there. internal/workload joined
+// when the instantiation cache put a mutex on the probe hot path.
 var lockScope = map[string]bool{
 	"internal/server": true, "internal/router": true, "internal/cpu": true,
+	"internal/workload": true,
 }
 
 func runConclint(p *Pass) {

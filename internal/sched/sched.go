@@ -420,6 +420,46 @@ func (t *Thread) WakeHint(now int64) int64 {
 	}
 }
 
+// computeLookahead is an optional Script extension: a script that can walk
+// its own segment structure without mutating it reports how many further
+// compute instructions are guaranteed to follow the current segment before
+// any boundary whose outcome depends on runtime state (a lock acquire, a
+// barrier, a sleep, the end of the script's work). The count must be
+// conservative: every counted instruction must be emitted by a Fetch that
+// returns FetchOK, unconditionally.
+type computeLookahead interface {
+	ComputeLookahead(max int64) int64
+}
+
+// maxComputeRun caps the lookahead so ComputeRun stays cheap: the event
+// engine chunks macro spans far below this anyway.
+const maxComputeRun = 4096
+
+// ComputeRun implements cpu.ComputeRunner: in the middle of a compute
+// segment, the remaining segment instructions are guaranteed FetchOK (Gen
+// never blocks), extended through upcoming segments by the script's own
+// lookahead when it offers one. Between segments (the mode a thread sits
+// in right after consuming a segment's last instruction) the lookahead
+// alone gives the guarantee — the next Fetch processes upcoming segments
+// inline and returns OK from the first counted compute instruction. In any
+// other mode the next Fetch outcome depends on runtime state (lock grants,
+// barrier generations, wake cycles), so no run is guaranteed.
+func (t *Thread) ComputeRun() int64 {
+	switch t.mode {
+	case modeCompute:
+		run := t.left
+		if la, ok := t.script.(computeLookahead); ok && run < maxComputeRun {
+			run += la.ComputeLookahead(maxComputeRun - run)
+		}
+		return run
+	case modeNextSegment:
+		if la, ok := t.script.(computeLookahead); ok {
+			return la.ComputeLookahead(maxComputeRun)
+		}
+	}
+	return 0
+}
+
 // ExactIdle implements cpu.ExactWaker: it reports whether the thread's
 // current idle state may be probed lazily without observable effect.
 //

@@ -122,7 +122,8 @@ func (s *Server) vars() map[string]any {
 		"queue_depth":         s.cfg.QueueDepth,
 		"queued":              s.lim.queued(),
 
-		"machine_pool": s.pool.Stats(),
+		"machine_pool":   s.pool.Stats(),
+		"workload_cache": s.progs.Stats(),
 
 		"latency_seconds": s.met.latency.Snapshot(),
 		"latency_summary": s.met.latency.Summary(),

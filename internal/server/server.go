@@ -187,6 +187,7 @@ type Server struct {
 	batch       *batcher // nil unless MaxBatch >= 2
 	probeBatch  probeBatchFunc
 	pool        *cpu.Pool
+	progs       *workload.Cache
 	draining    atomic.Bool
 	logMu       sync.Mutex
 }
@@ -212,7 +213,12 @@ func New(cfg Config) (*Server, error) {
 		// At most Workers probes run at once, so Workers machines per
 		// (arch, chips) key covers the steady state.
 		pool: cpu.NewPool(cfg.Workers),
+		// Compiled-workload cache shared by solo probes, batch passes and
+		// every coalesced flight: repeat specs skip validation and table
+		// derivation and stamp instances from one immutable Program.
+		progs: workload.NewCache(0),
 	}
+	prober := &controller.Prober{Pool: s.pool, Cache: s.progs}
 	s.probe = func(ctx context.Context, d *arch.Desc, chips int, spec *workload.Spec, seed uint64) (controller.ProbeResult, error) {
 		// Scheduled faults fire before the real probe: an injected delay
 		// eats into the request budget, an injected error or hang takes
@@ -220,7 +226,7 @@ func New(cfg Config) (*Server, error) {
 		if err := cfg.Faults.Inject(ctx, fault.OpProbe); err != nil {
 			return controller.ProbeResult{}, err
 		}
-		return controller.ProbeWith(ctx, s.pool, d, chips, spec, seed)
+		return prober.Probe(ctx, d, chips, spec, seed)
 	}
 	if cfg.MaxBatch >= 2 {
 		s.batch = newBatcher(cfg.MaxBatch)
@@ -228,7 +234,7 @@ func New(cfg Config) (*Server, error) {
 	// Fault injection for the batched path happens per flight leader inside
 	// batchProbe, before the join, so the pass itself runs clean.
 	s.probeBatch = func(ctx context.Context, d *arch.Desc, chips int, items []controller.BatchItem) ([]controller.BatchResult, error) {
-		return controller.ProbeBatch(ctx, s.pool, d, chips, items)
+		return prober.ProbeBatch(ctx, d, chips, items)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

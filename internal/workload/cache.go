@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// cacheKey identifies a compiled program. The spec is keyed by its
+// canonical JSON form (MarshalJSON writes every behaviour-bearing field in
+// a fixed order and omits lock/barrier kinds only when they are inert), so
+// two Spec values that simulate identically share one cache entry
+// regardless of which pointer the caller holds.
+type cacheKey struct {
+	spec    string
+	threads int
+	seed    uint64
+}
+
+// Cache is a bounded LRU of compiled Programs shared across probe paths:
+// repeated probes of the same (spec, threads, seed) — batch variants, the
+// experiment matrix's per-level cells, coalesced server flights — skip
+// validation and table derivation and stamp instances from one immutable
+// Program. Safe for concurrent use. A nil *Cache is valid and simply
+// compiles on every call, so wiring is optional everywhere.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     list.List // of *cacheEntry, most recent first
+	entries map[cacheKey]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	prog *Program
+}
+
+// DefaultCacheCap is the entry bound used by NewCache(0). Programs are a
+// few KiB each (tables only, no run state), so a few dozen specs × a few
+// thread counts fit comfortably.
+const DefaultCacheCap = 128
+
+// NewCache builds a program cache bounded to capacity entries; capacity
+// <= 0 selects DefaultCacheCap.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCap
+	}
+	return &Cache{cap: capacity, entries: make(map[cacheKey]*list.Element)}
+}
+
+// Get returns the compiled program for (spec, threads, seed), compiling and
+// inserting it on a miss. The returned Program is shared and immutable —
+// callers stamp instances with Program.Instantiate. A nil receiver compiles
+// directly with no caching.
+//
+// Compilation runs outside the cache lock, so a slow compile never blocks
+// hits on other keys; two goroutines racing the same cold key may both
+// compile, and the first insert wins (both results are identical).
+func (c *Cache) Get(spec *Spec, threads int, seed uint64) (*Program, error) {
+	if c == nil {
+		return Compile(spec, threads, seed)
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return Compile(spec, threads, seed)
+	}
+	key := cacheKey{spec: string(b), threads: threads, seed: seed}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		p := el.Value.(*cacheEntry).prog
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	p, err := Compile(spec, threads, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		// Lost the compile race: keep the incumbent so every caller shares
+		// one Program per key.
+		c.lru.MoveToFront(el)
+		p = el.Value.(*cacheEntry).prog
+	} else {
+		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, prog: p})
+		for c.lru.Len() > c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	return p, nil
+}
+
+// Instantiate is the one-call convenience path: Get then stamp an Instance.
+// It is a drop-in replacement for the package-level Instantiate with
+// caching layered in; a nil receiver behaves exactly like the package-level
+// function.
+func (c *Cache) Instantiate(spec *Spec, threads int, seed uint64) (*Instance, error) {
+	p, err := c.Get(spec, threads, seed)
+	if err != nil {
+		return nil, err
+	}
+	return p.Instantiate(), nil
+}
+
+// CacheStats is a point-in-time observability snapshot.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Stats reports the cache's counters; a nil receiver reports zeros.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.lru.Len(),
+		Capacity:  c.cap,
+	}
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// epLike returns a small compute-heavy spec for cache tests.
+func epLike(name string) *Spec {
+	return &Spec{
+		Name:         name,
+		Mix:          Mix{Load: 0.2, Branch: 0.1, Int: 0.4, FPVec: 0.3},
+		Chains:       2,
+		ChainFrac:    0.8,
+		WorkingSetKB: 16,
+		TotalWork:    40_000,
+		IterLen:      1000,
+	}
+}
+
+// drainStream fetches up to limit instructions from src, returning the
+// instruction sequence.
+func drainStream(t *testing.T, src isa.Source, limit int) []isa.Inst {
+	t.Helper()
+	out := make([]isa.Inst, 0, limit)
+	var in isa.Inst
+	for i := 0; i < limit; i++ {
+		st := src.Fetch(int64(i), &in)
+		if st == isa.FetchDone {
+			break
+		}
+		if st != isa.FetchOK {
+			t.Fatalf("fetch %d: unexpected status %v", i, st)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// TestProgramInstantiateMatchesLegacy pins the compiled path bit-identical
+// to the one-shot Instantiate: the instruction streams of an instance
+// stamped from a Program equal those of a fresh legacy instantiation.
+func TestProgramInstantiateMatchesLegacy(t *testing.T) {
+	spec := epLike("cachetest")
+	p, err := Compile(spec, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Instantiate(spec, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamped := p.Instantiate()
+	for i := range fresh.Threads {
+		a := drainStream(t, fresh.Sources()[i], 3000)
+		b := drainStream(t, stamped.Sources()[i], 3000)
+		if len(a) != len(b) {
+			t.Fatalf("thread %d: stream lengths diverge (%d vs %d)", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("thread %d: streams diverge at %d: %+v vs %+v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// TestProgramInstancesIndependent pins the copy-on-write split: instances
+// stamped from one shared Program advance independently — draining one must
+// not disturb a sibling's stream.
+func TestProgramInstancesIndependent(t *testing.T) {
+	p, err := Compile(epLike("cachetest"), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := drainStream(t, p.Instantiate().Sources()[0], 2000)
+
+	a, b := p.Instantiate(), p.Instantiate()
+	drainStream(t, a.Sources()[0], 1500) // advance a's cursors
+	got := drainStream(t, b.Sources()[0], 2000)
+	if len(got) != len(ref) {
+		t.Fatalf("sibling stream length diverged: %d vs %d", len(got), len(ref))
+	}
+	for j := range ref {
+		if got[j] != ref[j] {
+			t.Fatalf("sibling stream disturbed at %d", j)
+		}
+	}
+}
+
+// TestCacheHitsAndKeying checks hit/miss accounting and that the canonical
+// JSON key unifies equal spec values while separating thread counts, seeds
+// and differing specs.
+func TestCacheHitsAndKeying(t *testing.T) {
+	c := NewCache(8)
+	spec := epLike("cachetest")
+	p1, err := c.Get(spec, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specCopy := *spec // equal value, distinct pointer
+	p2, err := c.Get(&specCopy, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("equal spec values should share one cached Program")
+	}
+	if _, err := c.Get(spec, 8, 1); err != nil { // different threads: miss
+		t.Fatal(err)
+	}
+	if _, err := c.Get(spec, 4, 2); err != nil { // different seed: miss
+		t.Fatal(err)
+	}
+	other := epLike("cachetest")
+	other.ChainFrac = 0.5
+	if _, err := c.Get(other, 4, 1); err != nil { // different spec: miss
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 4 || st.Size != 4 {
+		t.Fatalf("stats = %+v, want 1 hit, 4 misses, size 4", st)
+	}
+}
+
+// TestCacheEviction pins the LRU bound: filling past capacity evicts the
+// least recently used entry, and a re-request recompiles it.
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(2)
+	spec := epLike("cachetest")
+	pa, _ := c.Get(spec, 1, 1)
+	c.Get(spec, 2, 1)
+	c.Get(spec, 1, 1) // touch (1,1): (2,1) becomes LRU
+	c.Get(spec, 3, 1) // evicts (2,1)
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction at size 2", st)
+	}
+	if pb, _ := c.Get(spec, 1, 1); pb != pa {
+		t.Fatal("recently-touched entry was evicted")
+	}
+	if st := c.Stats(); st.Misses != 3 {
+		t.Fatalf("misses = %d, want 3", st.Misses)
+	}
+}
+
+// TestCacheNilSafe pins the opt-out contract: a nil cache compiles per call
+// and reports zero stats.
+func TestCacheNilSafe(t *testing.T) {
+	var c *Cache
+	inst, err := c.Instantiate(epLike("cachetest"), 2, 7)
+	if err != nil || len(inst.Threads) != 2 {
+		t.Fatalf("nil cache Instantiate: %v (threads %d)", err, len(inst.Threads))
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v, want zeros", st)
+	}
+}
+
+// TestCacheConcurrentGet hammers one key and several cold keys from many
+// goroutines; the race detector guards the locking and every winner of the
+// same key must observe one shared Program.
+func TestCacheConcurrentGet(t *testing.T) {
+	c := NewCache(16)
+	spec := epLike("cachetest")
+	var wg sync.WaitGroup
+	progs := make([]*Program, 16)
+	for i := range progs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.Get(spec, 4, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := c.Get(spec, 1+i%4, uint64(i)); err != nil {
+				t.Error(err)
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(progs); i++ {
+		if progs[i] != progs[0] {
+			t.Fatal("concurrent gets of one key returned distinct Programs")
+		}
+	}
+}
+
+// TestSpecFingerprint pins fingerprint stability: equal spec values agree,
+// different specs differ, and mutation moves the fingerprint.
+func TestSpecFingerprint(t *testing.T) {
+	a, b := epLike("cachetest"), epLike("cachetest")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal specs must share a fingerprint")
+	}
+	b.TotalWork++
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("mutated spec kept its fingerprint")
+	}
+}

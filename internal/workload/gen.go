@@ -30,53 +30,65 @@ func threadRegionBase(threadID int) uint64 {
 // while entropy still produces mispredictions.
 const branchSites = 8
 
-// blockGen generates the useful-work instructions of one thread according
-// to its Spec. It implements sched.InstGen.
-type blockGen struct {
+// genTables holds the immutable per-thread half of a generator: everything
+// derived from (spec, threadID) once at compile time, plus the thread's
+// generator seed. One genTables value is shared — strictly read-only — by
+// every blockGen stamped from the same compiled Program, which is what lets
+// a Cache hand one Program to many concurrent instantiations. Nothing in
+// this struct may be written after newGenTables returns.
+type genTables struct {
 	spec *Spec
-	rng  *xrand.Rand
+	seed uint64 // per-thread generator seed, fixed at compile time
 
 	cdf [isa.NumClasses]float64
 
-	privBase  uint64
-	privSize  uint64
-	sharedSz  uint64
+	privBase uint64
+	privSize uint64
+	sharedSz uint64
+
+	sites  [branchSites]uint64
+	pTaken [branchSites]float64
+
+	nchains int
+}
+
+// blockGen generates the useful-work instructions of one thread according
+// to its Spec. It implements sched.InstGen. The shape is a copy-on-write
+// split: tab is the shared immutable compile-time half; every field below
+// it is this instantiation's private mutable cursor state.
+type blockGen struct {
+	tab *genTables
+	rng *xrand.Rand
+
 	pos       uint64 // cold stride cursor over the full working set
 	hotPos    uint64 // hot stride cursor within the hot tile
 	sharedPos uint64
 	sharedHot uint64
-
-	sites  [branchSites]uint64
-	pTaken [branchSites]float64
 
 	// Dependency-chain state: the stream position of the last instruction
 	// emitted on each chain, and counters that rotate chain membership.
 	pos64   int64 // dynamic instruction index
 	lastPos [32]int64
 	chainRR int
-	nchains int
 }
 
-func newBlockGen(spec *Spec, threadID int, seed uint64) *blockGen {
-	g := &blockGen{
+func newGenTables(spec *Spec, threadID int, seed uint64) *genTables {
+	t := &genTables{
 		spec:     spec,
-		rng:      xrand.New(seed),
+		seed:     seed,
 		privBase: threadRegionBase(threadID),
 		privSize: uint64(spec.WorkingSetKB) << 10,
 		sharedSz: uint64(spec.SharedSetKB) << 10,
 	}
-	if g.privSize < 64 {
-		g.privSize = 64
+	if t.privSize < 64 {
+		t.privSize = 64
 	}
-	if g.sharedSz < 64 {
-		g.sharedSz = 64
+	if t.sharedSz < 64 {
+		t.sharedSz = 64
 	}
-	g.nchains = spec.Chains
-	if g.nchains < 1 {
-		g.nchains = 1
-	}
-	for i := range g.lastPos {
-		g.lastPos[i] = -1
+	t.nchains = spec.Chains
+	if t.nchains < 1 {
+		t.nchains = 1
 	}
 
 	w := spec.Mix.weights()
@@ -87,31 +99,46 @@ func newBlockGen(spec *Spec, threadID int, seed uint64) *blockGen {
 	acc := 0.0
 	for c := range w {
 		acc += w[c] / sum
-		g.cdf[c] = acc
+		t.cdf[c] = acc
 	}
-	g.cdf[isa.NumClasses-1] = 1.0
+	t.cdf[isa.NumClasses-1] = 1.0
 
 	// Branch sites: with entropy e, a site's taken-probability moves from
 	// strongly biased 0.99 (about 1% mispredicted) to 0.91 (about 10%
 	// mispredicted — the worst realistic data-dependent branching; the
 	// paper's Fig. 2 branch-MPKI axis tops out around 12).
 	e := spec.BranchEntropy
-	for i := range g.sites {
-		g.sites[i] = (uint64(threadID)<<20 | uint64(i)<<4) + 0x4000_0000_0000
+	for i := range t.sites {
+		t.sites[i] = (uint64(threadID)<<20 | uint64(i)<<4) + 0x4000_0000_0000
 		bias := 0.99 - 0.08*e
 		if i%2 == 1 {
 			bias = 1 - bias
 		}
-		g.pTaken[i] = bias
+		t.pTaken[i] = bias
+	}
+	return t
+}
+
+// newGen stamps a fresh mutable generator from the shared tables. Each call
+// starts the identical deterministic stream: the RNG is re-seeded from the
+// compile-time thread seed and every cursor starts at its zero position.
+func (t *genTables) newGen() *blockGen {
+	g := &blockGen{tab: t, rng: xrand.New(t.seed)}
+	for i := range g.lastPos {
+		g.lastPos[i] = -1
 	}
 	return g
+}
+
+func newBlockGen(spec *Spec, threadID int, seed uint64) *blockGen {
+	return newGenTables(spec, threadID, seed).newGen()
 }
 
 // class samples an instruction class from the mix.
 func (g *blockGen) class() isa.Class {
 	u := g.rng.Float64()
 	for c := isa.Class(0); c < isa.NumClasses-1; c++ {
-		if u < g.cdf[c] {
+		if u < g.tab.cdf[c] {
 			return c
 		}
 	}
@@ -134,7 +161,7 @@ func hotSize(size uint64) uint64 {
 // most accesses on a hot subset (current tree path, top of heap, hot
 // objects); ColdFrac is the fraction that wanders the full set.
 func (g *blockGen) randOff(size uint64) uint64 {
-	if g.spec.ColdFrac > 0 && g.rng.Float64() >= g.spec.ColdFrac {
+	if g.tab.spec.ColdFrac > 0 && g.rng.Float64() >= g.tab.spec.ColdFrac {
 		return g.rng.Uint64n(hotSize(size)) &^ 7
 	}
 	return g.rng.Uint64n(size) &^ 7
@@ -145,8 +172,8 @@ func (g *blockGen) randOff(size uint64) uint64 {
 // cursor streams over the full working set. ColdFrac again sets the split;
 // ColdFrac 1 is a pure stream.
 func (g *blockGen) strideOff(size uint64, cold, hot *uint64) uint64 {
-	stride := uint64(g.spec.StrideBytes)
-	if g.spec.ColdFrac > 0 && g.rng.Float64() >= g.spec.ColdFrac {
+	stride := uint64(g.tab.spec.StrideBytes)
+	if g.tab.spec.ColdFrac > 0 && g.rng.Float64() >= g.tab.spec.ColdFrac {
 		*hot += stride
 		if *hot >= hotSize(size) {
 			*hot = 0
@@ -162,22 +189,22 @@ func (g *blockGen) strideOff(size uint64, cold, hot *uint64) uint64 {
 
 // addr produces the next effective address and whether it is shared.
 func (g *blockGen) addr() (uint64, bool) {
-	if g.spec.SharedFrac > 0 && g.rng.Float64() < g.spec.SharedFrac {
+	if g.tab.spec.SharedFrac > 0 && g.rng.Float64() < g.tab.spec.SharedFrac {
 		var off uint64
-		if g.spec.StrideBytes > 0 {
-			off = g.strideOff(g.sharedSz, &g.sharedPos, &g.sharedHot)
+		if g.tab.spec.StrideBytes > 0 {
+			off = g.strideOff(g.tab.sharedSz, &g.sharedPos, &g.sharedHot)
 		} else {
-			off = g.randOff(g.sharedSz)
+			off = g.randOff(g.tab.sharedSz)
 		}
 		return sharedRegionTag + off, true
 	}
 	var off uint64
-	if g.spec.StrideBytes > 0 {
-		off = g.strideOff(g.privSize, &g.pos, &g.hotPos)
+	if g.tab.spec.StrideBytes > 0 {
+		off = g.strideOff(g.tab.privSize, &g.pos, &g.hotPos)
 	} else {
-		off = g.randOff(g.privSize)
+		off = g.randOff(g.tab.privSize)
 	}
-	return g.privBase + off, false
+	return g.tab.privBase + off, false
 }
 
 // Gen implements sched.InstGen: it emits the next useful instruction.
@@ -188,8 +215,8 @@ func (g *blockGen) Gen(out *isa.Inst) {
 		out.Addr, out.SharedAddr = g.addr()
 	case isa.Branch:
 		i := g.rng.Intn(branchSites)
-		out.Addr = g.sites[i]
-		out.Taken = g.rng.Float64() < g.pTaken[i]
+		out.Addr = g.tab.sites[i]
+		out.Taken = g.rng.Float64() < g.tab.pTaken[i]
 	}
 
 	// Register dependencies: with probability ChainFrac the instruction
@@ -199,10 +226,10 @@ func (g *blockGen) Gen(out *isa.Inst) {
 	// instructions are independent fillers.
 	i := g.pos64
 	g.pos64++
-	if g.spec.ChainFrac > 0 && g.rng.Float64() < g.spec.ChainFrac {
+	if g.tab.spec.ChainFrac > 0 && g.rng.Float64() < g.tab.spec.ChainFrac {
 		c := g.chainRR
 		g.chainRR++
-		if g.chainRR >= g.nchains {
+		if g.chainRR >= g.tab.nchains {
 			g.chainRR = 0
 		}
 		if last := g.lastPos[c]; last >= 0 {
@@ -212,8 +239,8 @@ func (g *blockGen) Gen(out *isa.Inst) {
 			}
 		}
 		g.lastPos[c] = i
-		if g.spec.CrossDep > 0 && g.rng.Float64() < g.spec.CrossDep {
-			o := (c + 1 + g.rng.Intn(maxInt(g.nchains-1, 1))) % g.nchains
+		if g.tab.spec.CrossDep > 0 && g.rng.Float64() < g.tab.spec.CrossDep {
+			o := (c + 1 + g.rng.Intn(maxInt(g.tab.nchains-1, 1))) % g.tab.nchains
 			if last := g.lastPos[o]; last >= 0 && o != c {
 				d := i - last
 				if d >= 1 && d <= isa.MaxDepDistance {
@@ -256,6 +283,69 @@ const (
 	stepSleep
 	stepAdvance
 )
+
+// ComputeLookahead implements sched's computeLookahead extension: it walks
+// the iteration state machine from the thread's current position WITHOUT
+// mutating it, counting the compute instructions guaranteed to be emitted
+// before any boundary whose outcome depends on runtime state. Lock-release
+// steps pass through (a release emits nothing and never idles); the walk
+// stops at lock-acquire iterations (acquisition may spin or block),
+// barriers, serial phases, sleeps, and the end of the thread's work. The
+// walk must mirror NextSegment's control flow exactly — it is the
+// macro-stepping guarantee the scan-vs-event equivalence suite leans on.
+func (ts *threadScript) ComputeLookahead(max int64) int64 {
+	sp := ts.inst.Spec
+	var n int64
+	iter, step := ts.iter, ts.step
+	for n < max && iter < ts.iters {
+		switch step {
+		case stepLockAcquire:
+			if sp.LockEvery > 0 && iter%int64(sp.LockEvery) == 0 {
+				return n
+			}
+			step = stepMain
+		case stepCrit:
+			// Only reachable while waiting on the acquire; unreachable in
+			// compute mode, but stop conservatively if asked.
+			return n
+		case stepLockRelease:
+			step = stepMain
+		case stepMain:
+			step = stepBarrier
+			m := int64(sp.IterLen)
+			if sp.LockEvery > 0 && iter%int64(sp.LockEvery) == 0 {
+				m -= int64(sp.CritLen)
+			}
+			if m > 0 {
+				n += m
+			}
+		case stepBarrier:
+			if sp.BarrierEvery > 0 && (iter+1)%int64(sp.BarrierEvery) == 0 {
+				return n
+			}
+			step = stepSerialEnter
+		case stepSerialEnter:
+			if sp.SerialEvery > 0 && (iter+1)%int64(sp.SerialEvery) == 0 {
+				return n
+			}
+			step = stepSleep
+		case stepSerialWork, stepSerialExit:
+			return n
+		case stepSleep:
+			if sp.SleepEvery > 0 && (iter+1)%int64(sp.SleepEvery) == 0 {
+				return n
+			}
+			step = stepAdvance
+		case stepAdvance:
+			iter++
+			step = stepLockAcquire
+		}
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
 
 func (ts *threadScript) NextSegment(seg *sched.Segment) bool {
 	sp := ts.inst.Spec

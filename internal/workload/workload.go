@@ -17,7 +17,6 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/sched"
-	"repro/internal/xrand"
 )
 
 // Mix is an instruction-class mixture. Weights need not sum to one;
@@ -196,34 +195,18 @@ type Instance struct {
 
 // Instantiate builds the workload for numThreads threads with the given
 // seed. The same (spec, numThreads, seed) always produces identical
-// instruction streams.
+// instruction streams. It is Compile + Program.Instantiate in one step;
+// hot callers that repeat a triple should hold a Cache (or a Program)
+// instead and amortize the compile.
 func Instantiate(spec *Spec, numThreads int, seed uint64) (*Instance, error) {
-	if err := spec.Validate(); err != nil {
+	p, err := Compile(spec, numThreads, seed)
+	if err != nil {
 		return nil, err
 	}
-	if numThreads <= 0 {
-		return nil, fmt.Errorf("workload %s: non-positive thread count", spec.Name)
-	}
-	rt := sched.NewRuntime(numThreads)
-	inst := &Instance{Spec: spec, Runtime: rt, lock: -1, barrier: -1}
-	if spec.LockEvery > 0 {
-		inst.lock = rt.AddLock(spec.LockKind)
-	}
-	if spec.BarrierEvery > 0 || spec.SerialEvery > 0 {
-		inst.barrier = rt.AddBarrier(spec.BarrierKind, numThreads)
-	}
-
-	perThread := spec.TotalWork / int64(numThreads)
-	iters := perThread / int64(spec.IterLen)
-	if iters < 1 {
-		iters = 1
-	}
-	sm := xrand.NewSplitMix64(seed ^ xrand.Mix64(xrand.HashString(spec.Name)))
-	for i := 0; i < numThreads; i++ {
-		gen := newBlockGen(spec, i, sm.Next())
-		script := &threadScript{inst: inst, threadID: i, iters: iters, gen: gen}
-		inst.Threads = append(inst.Threads, rt.NewThread(script))
-	}
+	inst := p.Instantiate()
+	// Preserve the historical contract that the instance reports the
+	// caller's own Spec value rather than the compiled copy.
+	inst.Spec = spec
 	return inst, nil
 }
 

@@ -19,15 +19,24 @@
 // when
 //
 //   - a ratio cell regresses more than 20% below the checked-in baseline,
-//   - a cell at or above event/scan parity (ratio >= 1.0) in the baseline
-//     falls back below parity — once the event engine beats the scan
-//     engine on a workload it must keep beating it,
+//   - any ratio cell falls below event/scan parity (ratio >= 1.0) — with
+//     compute-run macro-stepping the event engine beats or matches the scan
+//     engine on EVERY workload in the grid, so parity is a universal floor,
+//     not a per-cell ratchet,
 //   - any benchmark cell exceeds 1 allocation per op (the engine's
 //     per-cycle path is allocation-free by design; 1 tolerates testing
 //     harness noise),
 //   - the baseline's memory-bound headline ratio is below the 2.0 floor
 //     (the artifact property this PR claims), or
 //   - the steady-state run path allocates.
+//
+// The extra subcommand
+//
+//	benchgate slowest <bench-output-file>                # slowest engine cell
+//
+// prints the BenchmarkEngine cell with the highest ns/op (as "bench/smtN"),
+// so a failed gate run can re-profile exactly the cell that dominates the
+// grid's wall time.
 package main
 
 import (
@@ -49,13 +58,11 @@ const ratioTolerance = 0.8
 // show on its best memory-bound cell.
 const memoryBoundFloor = 2.0
 
-// parityFloor: a cell whose baseline ratio clearly reached event/scan
-// parity must never fall back below it, regardless of the 20% tolerance.
-// Only cells at parityRatchet or above in the baseline carry the floor, so
-// a cell that brushed 1.0x on measurement noise doesn't turn into a flaky
-// gate.
+// parityFloor is the universal event/scan floor: every ratio cell of the
+// current run must be at or above parity. Macro-stepping closed the last
+// compute-bound gap (EP), so there is no exempt cell left — a cell below
+// 1.0x means the event engine lost to its own referee on that workload.
 const parityFloor = 1.0
-const parityRatchet = 1.05
 
 // allocCeiling is the per-op allocation budget for every benchmark cell.
 const allocCeiling = 1.0
@@ -126,6 +133,19 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(path)
+	case "slowest":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		art, err := parseBenchFile(os.Args[2])
+		if err != nil {
+			fail(err)
+		}
+		cell := slowestCell(art)
+		if cell == "" {
+			fail(fmt.Errorf("%s: no engine cells found", os.Args[2]))
+		}
+		fmt.Println(cell)
 	case "check":
 		if len(os.Args) != 4 {
 			usage()
@@ -152,8 +172,23 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: benchgate emit <bench-output> | benchgate check <baseline.json> <bench-output> | benchgate baseline [dir]")
+	fmt.Fprintln(os.Stderr, "usage: benchgate emit <bench-output> | benchgate check <baseline.json> <bench-output> | benchgate baseline [dir] | benchgate slowest <bench-output>")
 	os.Exit(2)
+}
+
+// slowestCell returns the engine cell ("bench/smtN") with the highest
+// ns/op; ties resolve to the lexically smallest name for determinism.
+func slowestCell(art *Artifact) string {
+	best, bestNs := "", -1.0
+	for name, c := range art.Cells {
+		if name == "steady" {
+			continue
+		}
+		if c.NsPerOp > bestNs || (c.NsPerOp == bestNs && name < best) {
+			best, bestNs = name, c.NsPerOp
+		}
+	}
+	return best
 }
 
 // benchPRName matches trajectory artifacts and captures the PR number.
@@ -365,12 +400,12 @@ func gate(base, cur *Artifact) []string {
 			errs = append(errs, fmt.Sprintf(
 				"ratio %s regressed: %.2fx vs baseline %.2fx (>20%% drop)", k, c, b))
 		}
-		// Parity is a ratchet: once a workload's event engine clearly beats
-		// the scan engine, falling back under 1.0 is a regression even
-		// inside the 20% noise tolerance.
-		if b >= parityRatchet && c < parityFloor {
+		// Parity is a universal floor: the event engine must beat or match
+		// the scan referee on every grid cell, even inside the 20% noise
+		// tolerance.
+		if c < parityFloor {
 			errs = append(errs, fmt.Sprintf(
-				"ratio %s fell below event/scan parity: %.2fx (baseline held %.2fx)", k, c, b))
+				"ratio %s fell below event/scan parity: %.2fx (baseline %.2fx)", k, c, b))
 		}
 	}
 	cellKeys := make([]string, 0, len(cur.Cells))

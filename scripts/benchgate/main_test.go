@@ -10,7 +10,7 @@ const sampleOutput = `goos: linux
 goarch: amd64
 pkg: repro/internal/cpu
 cpu: Example CPU @ 2.70GHz
-BenchmarkEngine/EP/smt1-8 	       2	3151113085 ns/op	         0.2250 Mcycles/s	         0.2300 scanMcycles/s	         0.9783 ratio	      32 B/op	       0 allocs/op
+BenchmarkEngine/EP/smt1-8 	       2	3151113085 ns/op	         0.2350 Mcycles/s	         0.2300 scanMcycles/s	         1.022 ratio	      32 B/op	       0 allocs/op
 BenchmarkEngine/CG/smt4-8 	       2	1118610114 ns/op	         1.129 Mcycles/s	         0.5328 scanMcycles/s	         2.119 ratio	     128 B/op	       0 allocs/op
 BenchmarkSteadyState-8    	      43	  25944670 ns/op	         5.396 Mcycles/s	       0 B/op	       0 allocs/op
 PASS
@@ -41,7 +41,7 @@ func TestParseBenchFile(t *testing.T) {
 	if cg.HostCPUModel != "Example CPU @ 2.70GHz" {
 		t.Fatalf("host cpu = %q", cg.HostCPUModel)
 	}
-	if art.Ratios["CG/smt4"] != 2.119 || art.Ratios["EP/smt1"] != 0.9783 {
+	if art.Ratios["CG/smt4"] != 2.119 || art.Ratios["EP/smt1"] != 1.022 {
 		t.Fatalf("ratios = %+v", art.Ratios)
 	}
 	if art.Headline.Cell != "CG/smt4" || art.Headline.Ratio != 2.119 {
@@ -80,7 +80,7 @@ func TestGate(t *testing.T) {
 	if errs := gate(base, cur); len(errs) != 1 {
 		t.Fatalf("missing cell should fail once, got %v", errs)
 	}
-	cur.Ratios["EP/smt1"] = 0.9783
+	cur.Ratios["EP/smt1"] = 1.022
 
 	// Steady-state allocations fail.
 	cur.SteadyStateAllocs = 2
@@ -110,10 +110,10 @@ func TestGate(t *testing.T) {
 	}
 }
 
-// TestGateParityRatchet: a cell that held event/scan parity in the baseline
-// must not dip below 1.0, even when the dip is inside the 20% tolerance; a
-// below-parity baseline cell gets no such floor.
-func TestGateParityRatchet(t *testing.T) {
+// TestGateParityFloor: every ratio cell must hold event/scan parity (>= 1.0),
+// regardless of where the baseline sat — the floor is universal, there is no
+// below-parity exemption anymore.
+func TestGateParityFloor(t *testing.T) {
 	base, err := parseBenchFile(writeSample(t, sampleOutput))
 	if err != nil {
 		t.Fatal(err)
@@ -128,20 +128,37 @@ func TestGateParityRatchet(t *testing.T) {
 		t.Fatalf("parity loss should fail once, got %v", errs)
 	}
 
-	// EP never reached parity in the baseline, so 0.9 territory is fine.
-	base.Ratios["EP/smt1"] = 0.98
-	cur.Ratios["EP/smt1"] = 0.90
-	cur.Ratios["CG/smt4"] = 1.05
-	if errs := gate(base, cur); len(errs) != 0 {
-		t.Fatalf("below-parity baseline cell should carry no parity floor, got %v", errs)
-	}
-
-	// A baseline cell that only brushed parity (< 1.05) carries no floor:
-	// noise around 1.0 must not make the gate flaky.
+	// A baseline cell that brushed parity still carries the full floor: the
+	// compute-bound cells hold >= 1.0 via macro-stepping and must keep it.
 	base.Ratios["EP/smt1"] = 1.01
 	cur.Ratios["EP/smt1"] = 0.97
+	cur.Ratios["CG/smt4"] = 1.05
+	if errs := gate(base, cur); len(errs) != 1 {
+		t.Fatalf("parity loss on a brushing baseline should fail once, got %v", errs)
+	}
+
+	// At the floor exactly passes.
+	cur.Ratios["EP/smt1"] = 1.0
 	if errs := gate(base, cur); len(errs) != 0 {
-		t.Fatalf("parity-brushing baseline cell should carry no floor, got %v", errs)
+		t.Fatalf("cell at the parity floor should pass, got %v", errs)
+	}
+}
+
+// TestSlowestCell pins the profile-target selection: highest ns/op engine
+// cell wins and the steady-state benchmark is never the target.
+func TestSlowestCell(t *testing.T) {
+	art, err := parseBenchFile(writeSample(t, sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := slowestCell(art); got != "EP/smt1" {
+		t.Fatalf("slowestCell = %q, want EP/smt1", got)
+	}
+	cg := art.Cells["CG/smt4"]
+	cg.NsPerOp = art.Cells["EP/smt1"].NsPerOp + 1
+	art.Cells["CG/smt4"] = cg
+	if got := slowestCell(art); got != "CG/smt4" {
+		t.Fatalf("slowestCell = %q, want CG/smt4", got)
 	}
 }
 

@@ -177,7 +177,7 @@ stage_race() {
 	step "race detector (concurrent packages)"
 	go test -race -count=1 ./internal/experiments ./internal/cpu ./internal/sched \
 		./internal/server ./internal/router ./internal/report ./internal/fault \
-		./internal/controller ./client
+		./internal/controller ./internal/workload ./client
 	# Chip-parallel determinism, explicitly: batched simulation must be
 	# bit-identical to solo runs at any GOMAXPROCS, with the race detector
 	# watching the per-group domain isolation.
