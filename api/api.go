@@ -45,6 +45,8 @@ const (
 	PathMetric = "/v1/metric"
 	// PathAnalyze probes a described workload and recommends an SMT level.
 	PathAnalyze = "/v1/analyze"
+	// PathPlace co-simulates a workload mix and assigns threads to cores.
+	PathPlace = "/v1/place"
 	// PathHealthz is the liveness/readiness probe (503 while draining).
 	PathHealthz = "/healthz"
 	// PathVars is the expvar-style metrics document.
@@ -123,6 +125,87 @@ type Recommendation struct {
 	// a stale cached recommendation or a partial probe (see the package
 	// comment). Absent on every fresh answer.
 	Degraded bool `json:"degraded,omitempty"`
+}
+
+// PlaceWorkload names one workload of a placement mix. Exactly one of
+// Bench (a built-in Table-I benchmark name) or Spec (an inline custom
+// workload) must be set. Threads is the number of placement units the
+// workload contributes; 0 means 1.
+type PlaceWorkload struct {
+	Name    string         `json:"name"`
+	Bench   string         `json:"bench,omitempty"`
+	Spec    *workload.Spec `json:"spec,omitempty"`
+	Threads int            `json:"threads,omitempty"`
+}
+
+// AffinityRule forbids co-locating any thread of workload A with any
+// thread of workload B on the same core. A rule with A == B forbids the
+// workload's own threads from sharing a core with each other.
+type AffinityRule struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// PlaceRequest asks the server to co-simulate a workload mix and assign
+// every thread to a core of the target machine shape.
+type PlaceRequest struct {
+	Arch  string `json:"arch,omitempty"`
+	Chips int    `json:"chips,omitempty"`
+	// MaxPerCore caps the threads sharing one core; 0 means the
+	// architecture's maximum SMT width, and it may not exceed it.
+	MaxPerCore int `json:"maxPerCore,omitempty"`
+	// Seed drives the co-simulations and the solver's tie-breaking
+	// order. The same request (any field order) with the same seed
+	// yields a byte-identical response.
+	Seed         uint64          `json:"seed,omitempty"`
+	AntiAffinity []AffinityRule  `json:"antiAffinity,omitempty"`
+	Workloads    []PlaceWorkload `json:"workloads"`
+}
+
+// PairScore is the co-run compatibility of one workload pair: the
+// SMT-selection metric of the pair sharing one core, higher meaning more
+// contention (worse to co-locate). A == B scores the workload against a
+// second thread of itself.
+type PairScore struct {
+	A          string  `json:"a"`
+	B          string  `json:"b"`
+	Score      float64 `json:"score"`
+	WallCycles int64   `json:"wallCycles"`
+}
+
+// Assignment is the thread set placed on one core. Core is the core
+// index within Chip; Threads lists the owning workload of each placed
+// thread, sorted by name.
+type Assignment struct {
+	Chip    int      `json:"chip"`
+	Core    int      `json:"core"`
+	Threads []string `json:"threads"`
+}
+
+// PlaceResponse is the advisor's placement: one Assignment per occupied
+// core plus the pair-compatibility scores the solver minimized.
+type PlaceResponse struct {
+	Arch  string `json:"arch"`
+	Chips int    `json:"chips"`
+	// SMTLevel is the architecture's maximum SMT width (the level every
+	// pair co-run was scored at); MaxPerCore is the effective cap the
+	// solver honored.
+	SMTLevel   int `json:"smtLevel"`
+	MaxPerCore int `json:"maxPerCore"`
+	// TotalScore is the sum of pair scores across all co-located thread
+	// pairs — the objective the solver minimized.
+	TotalScore  float64      `json:"totalScore"`
+	Assignments []Assignment `json:"assignments"`
+	PairScores  []PairScore  `json:"pairScores"`
+
+	// Warning, Fingerprint, Cached and Degraded carry the same
+	// degradation contract as Recommendation: Fingerprint identifies the
+	// canonical resolved request, Degraded marks stale or partial
+	// answers (HTTP Warning 110 / 199).
+	Warning     string `json:"warning,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+	Cached      bool   `json:"cached"`
+	Degraded    bool   `json:"degraded,omitempty"`
 }
 
 // Machine-readable error codes carried by the Error envelope. Clients

@@ -117,3 +117,99 @@ func TestRequestRoundTrip(t *testing.T) {
 		t.Errorf("analyze round trip: got %+v, want %+v", out, in)
 	}
 }
+
+// TestPlaceRequestWireFormat pins the serialized bytes of the v1 placement
+// request, and checks it survives the server's strict decode unchanged.
+func TestPlaceRequestWireFormat(t *testing.T) {
+	req := PlaceRequest{
+		Arch:       "power7",
+		Chips:      2,
+		MaxPerCore: 2,
+		Seed:       7,
+		AntiAffinity: []AffinityRule{
+			{A: "ep", B: "cg"},
+		},
+		Workloads: []PlaceWorkload{
+			{Name: "ep", Bench: "EP", Threads: 2},
+			{Name: "cg", Bench: "CG"},
+		},
+	}
+	got, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"arch":"power7","chips":2,"maxPerCore":2,"seed":7,` +
+		`"antiAffinity":[{"a":"ep","b":"cg"}],` +
+		`"workloads":[{"name":"ep","bench":"EP","threads":2},` +
+		`{"name":"cg","bench":"CG"}]}`
+	if string(got) != want {
+		t.Errorf("place request wire format drifted:\n got %s\nwant %s", got, want)
+	}
+
+	var out PlaceRequest
+	dec := json.NewDecoder(bytes.NewReader(got))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rt) != want {
+		t.Errorf("place request round trip drifted:\n got %s\nwant %s", rt, want)
+	}
+}
+
+// TestPlaceResponseWireFormat pins the serialized bytes of the v1
+// placement response, fresh and degraded.
+func TestPlaceResponseWireFormat(t *testing.T) {
+	resp := PlaceResponse{
+		Arch:       "power7",
+		Chips:      1,
+		SMTLevel:   4,
+		MaxPerCore: 2,
+		TotalScore: 0.75,
+		Assignments: []Assignment{
+			{Chip: 0, Core: 0, Threads: []string{"cg", "ep"}},
+			{Chip: 0, Core: 1, Threads: []string{"ep"}},
+		},
+		PairScores: []PairScore{
+			{A: "cg", B: "ep", Score: 0.75, WallCycles: 1234},
+		},
+		Fingerprint: "00000000000000cd",
+	}
+	got, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"arch":"power7","chips":1,"smtLevel":4,"maxPerCore":2,` +
+		`"totalScore":0.75,` +
+		`"assignments":[{"chip":0,"core":0,"threads":["cg","ep"]},` +
+		`{"chip":0,"core":1,"threads":["ep"]}],` +
+		`"pairScores":[{"a":"cg","b":"ep","score":0.75,"wallCycles":1234}],` +
+		`"fingerprint":"00000000000000cd","cached":false}`
+	if string(got) != want {
+		t.Errorf("place response wire format drifted:\n got %s\nwant %s", got, want)
+	}
+
+	// Warning and Degraded are additive omitempty fields, present only on
+	// degraded placements — same contract as Recommendation.
+	resp.Warning = "stale"
+	resp.Degraded = true
+	resp.Cached = true
+	got, err = json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"arch":"power7","chips":1,"smtLevel":4,"maxPerCore":2,` +
+		`"totalScore":0.75,` +
+		`"assignments":[{"chip":0,"core":0,"threads":["cg","ep"]},` +
+		`{"chip":0,"core":1,"threads":["ep"]}],` +
+		`"pairScores":[{"a":"cg","b":"ep","score":0.75,"wallCycles":1234}],` +
+		`"warning":"stale",` +
+		`"fingerprint":"00000000000000cd","cached":true,"degraded":true}`
+	if string(got) != want {
+		t.Errorf("degraded place wire format drifted:\n got %s\nwant %s", got, want)
+	}
+}

@@ -135,14 +135,22 @@ func New(cfg Config) (*Client, error) {
 // Metric computes the SMT-selection metric for a pre-recorded counter
 // snapshot via POST /v1/metric.
 func (c *Client) Metric(ctx context.Context, req api.MetricRequest) (api.Recommendation, error) {
-	return c.post(ctx, api.PathMetric, req)
+	return post[api.Recommendation](ctx, c, api.PathMetric, req)
 }
 
 // Analyze runs (or answers from cache) a full probe via POST /v1/analyze.
 // A Recommendation with Degraded set is a valid answer computed from
 // stale or partial data — inspect Warning for the cause.
 func (c *Client) Analyze(ctx context.Context, req api.AnalyzeRequest) (api.Recommendation, error) {
-	return c.post(ctx, api.PathAnalyze, req)
+	return post[api.Recommendation](ctx, c, api.PathAnalyze, req)
+}
+
+// Place solves a thread-to-core placement via POST /v1/place, with the
+// same retry and degradation semantics as Analyze: a PlaceResponse with
+// Degraded set is a valid answer computed from stale or partial pair
+// scores — inspect Warning for the cause.
+func (c *Client) Place(ctx context.Context, req api.PlaceRequest) (api.PlaceResponse, error) {
+	return post[api.PlaceResponse](ctx, c, api.PathPlace, req)
 }
 
 // Health probes GET /healthz once, with no retries: health checks are
@@ -169,48 +177,53 @@ func (c *Client) Health(ctx context.Context) error {
 	return nil
 }
 
-// post runs the retry loop for one logical call.
-func (c *Client) post(ctx context.Context, path string, payload any) (api.Recommendation, error) {
+// post runs the retry loop for one logical call. It is generic over the
+// response type (Recommendation, PlaceResponse, ...) so every endpoint
+// shares one retry/backoff/budget implementation; it is a package-level
+// function only because Go methods cannot take type parameters.
+func post[T any](ctx context.Context, c *Client, path string, payload any) (T, error) {
+	var zero T
 	body, err := json.Marshal(payload)
 	if err != nil {
-		return api.Recommendation{}, fmt.Errorf("client: encoding request: %w", err)
+		return zero, fmt.Errorf("client: encoding request: %w", err)
 	}
 	start := c.now()
 	var lastErr error
-	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
-		rec, retryAfter, err := c.attempt(ctx, path, body)
+	for a := 0; a < c.cfg.MaxAttempts; a++ {
+		rec, retryAfter, err := attempt[T](ctx, c, path, body)
 		if err == nil {
 			return rec, nil
 		}
 		lastErr = err
-		if ctx.Err() != nil || !retryable(err) || attempt == c.cfg.MaxAttempts-1 {
+		if ctx.Err() != nil || !retryable(err) || a == c.cfg.MaxAttempts-1 {
 			break
 		}
-		delay := c.backoff(attempt)
+		delay := c.backoff(a)
 		if retryAfter > delay {
 			delay = retryAfter
 		}
 		if c.cfg.RetryBudget > 0 && c.now().Add(delay).Sub(start) > c.cfg.RetryBudget {
 			lastErr = fmt.Errorf("client: retry budget %v exhausted after %d attempts: %w",
-				c.cfg.RetryBudget, attempt+1, err)
+				c.cfg.RetryBudget, a+1, err)
 			break
 		}
 		if serr := c.sleep(ctx, delay); serr != nil {
 			break // parent context cancelled mid-backoff; report the last attempt's error
 		}
 	}
-	return api.Recommendation{}, lastErr
+	return zero, lastErr
 }
 
 // attempt performs one HTTP exchange under the per-attempt deadline and
-// returns the decoded recommendation, or the server's Retry-After hint
+// returns the decoded response, or the server's Retry-After hint
 // alongside the error.
-func (c *Client) attempt(ctx context.Context, path string, body []byte) (api.Recommendation, time.Duration, error) {
+func attempt[T any](ctx context.Context, c *Client, path string, body []byte) (T, time.Duration, error) {
+	var zero T
 	actx, cancel := c.attemptContext(ctx)
 	defer cancel()
 	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return api.Recommendation{}, 0, fmt.Errorf("client: building request: %w", err)
+		return zero, 0, fmt.Errorf("client: building request: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(hreq)
@@ -221,32 +234,32 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte) (api.Rec
 		// %v: it must not satisfy errors.Is(err, DeadlineExceeded), because
 		// exceeding one attempt's budget is exactly what retries are for.
 		if ctx.Err() != nil {
-			return api.Recommendation{}, 0, ctx.Err()
+			return zero, 0, ctx.Err()
 		}
 		if actx.Err() != nil {
-			return api.Recommendation{}, 0, fmt.Errorf("client: attempt timed out after %v: %v", c.cfg.AttemptTimeout, err)
+			return zero, 0, fmt.Errorf("client: attempt timed out after %v: %v", c.cfg.AttemptTimeout, err)
 		}
-		return api.Recommendation{}, 0, fmt.Errorf("client: %w", err)
+		return zero, 0, fmt.Errorf("client: %w", err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
 	if err != nil {
 		if ctx.Err() != nil {
-			return api.Recommendation{}, 0, ctx.Err()
+			return zero, 0, ctx.Err()
 		}
 		if actx.Err() != nil {
-			return api.Recommendation{}, 0, fmt.Errorf("client: attempt timed out after %v: %v", c.cfg.AttemptTimeout, err)
+			return zero, 0, fmt.Errorf("client: attempt timed out after %v: %v", c.cfg.AttemptTimeout, err)
 		}
-		return api.Recommendation{}, 0, fmt.Errorf("client: reading response: %w", err)
+		return zero, 0, fmt.Errorf("client: reading response: %w", err)
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
-		var rec api.Recommendation
+		var rec T
 		if err := json.Unmarshal(raw, &rec); err != nil {
-			return api.Recommendation{}, 0, fmt.Errorf("client: decoding response: %w", err)
+			return zero, 0, fmt.Errorf("client: decoding response: %w", err)
 		}
 		return rec, 0, nil
 	}
-	return api.Recommendation{}, c.parseRetryAfter(resp.Header.Get("Retry-After")), decodeError(resp.StatusCode, raw)
+	return zero, c.parseRetryAfter(resp.Header.Get("Retry-After")), decodeError(resp.StatusCode, raw)
 }
 
 // attemptContext derives the per-attempt context.

@@ -7,6 +7,13 @@
 //
 //	smtctl -bench SPECjbb_contention
 //	smtctl -bench EP -arch nehalem -threshold 0.15
+//
+// The place subcommand solves a thread-to-core placement for a JSON
+// workload-mix file (an api.PlaceRequest), locally or against a running
+// smtservd/smtrouter:
+//
+//	smtctl place -file mix.json
+//	smtctl place -file mix.json -url http://127.0.0.1:8700
 package main
 
 import (
@@ -21,6 +28,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "place" {
+		os.Exit(runPlace(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	var (
 		benchName = flag.String("bench", "SPECjbb_contention", "benchmark to tune")
 		archName  = flag.String("arch", "power7", "architecture: power7 or nehalem")

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunPlaceFlagValidation pins the usage-error surface: every bad
+// invocation exits 2 with a message on stderr and no output on stdout.
+func TestRunPlaceFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing file", nil, "-file is required"},
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"trailing args", []string{"-file", "mix.json", "extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := runPlace(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit code %d, want 2 (stderr %q)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("stderr %q does not mention %q", stderr.String(), tc.want)
+			}
+			if stdout.Len() != 0 {
+				t.Fatalf("usage error wrote to stdout: %q", stdout.String())
+			}
+		})
+	}
+}
+
+// TestRunPlaceRuntimeErrors pins the runtime-failure surface: exit 1 for
+// an unreadable file, an invalid mix and an unsolvable request.
+func TestRunPlaceRuntimeErrors(t *testing.T) {
+	writeMix := func(t *testing.T, content string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "mix.json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := []struct {
+		name string
+		args func(t *testing.T) []string
+		want string
+	}{
+		{"missing file", func(t *testing.T) []string {
+			return []string{"-file", filepath.Join(t.TempDir(), "absent.json")}
+		}, "absent.json"},
+		{"unknown field", func(t *testing.T) []string {
+			return []string{"-file", writeMix(t, `{"bogus":1}`)}
+		}, "unknown field"},
+		{"no workloads", func(t *testing.T) []string {
+			return []string{"-file", writeMix(t, `{}`)}
+		}, "at least one"},
+		{"unknown arch", func(t *testing.T) []string {
+			return []string{"-arch", "vax", "-file", writeMix(t, `{"workloads":[{"name":"a","bench":"EP"}]}`)}
+		}, "unknown architecture"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := runPlace(tc.args(t), &stdout, &stderr); code != 1 {
+				t.Fatalf("exit code %d, want 1 (stderr %q)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("stderr %q does not mention %q", stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestRunPlaceLocal solves a small mix offline and checks the rendered
+// table carries the assignment and pair-score sections.
+func TestRunPlaceLocal(t *testing.T) {
+	mix := `{"seed":7,"workloads":[` +
+		`{"name":"cpu","threads":2,"spec":{"name":"cpu","mix":{"int":1},"chains":1,"workingSetKB":4,"totalWork":40000,"iterLen":100}},` +
+		`{"name":"mem","spec":{"name":"mem","mix":{"int":1,"load":2},"chains":1,"workingSetKB":4,"totalWork":40000,"iterLen":100}}]}`
+	path := filepath.Join(t.TempDir(), "mix.json")
+	if err := os.WriteFile(path, []byte(mix), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := runPlace([]string{"-file", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr %q", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"placement on POWER7", "CHIP", "CORE", "THREADS", "cpu", "mem", "pair compatibility", "fingerprint "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if stderr.Len() != 0 {
+		t.Fatalf("stderr not empty: %q", stderr.String())
+	}
+}

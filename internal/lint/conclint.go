@@ -31,10 +31,11 @@ var Conclint = &Analyzer{
 
 // lockScope lists the packages whose locks guard the serving path; the
 // copy and unlock disciplines are enforced there. internal/workload joined
-// when the instantiation cache put a mutex on the probe hot path.
+// when the instantiation cache put a mutex on the probe hot path, and
+// internal/placement when /v1/place put pair co-simulation on it.
 var lockScope = map[string]bool{
 	"internal/server": true, "internal/router": true, "internal/cpu": true,
-	"internal/workload": true,
+	"internal/workload": true, "internal/placement": true,
 }
 
 func runConclint(p *Pass) {

@@ -1,0 +1,173 @@
+package placement
+
+import (
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// The assignment solver: seeded greedy construction plus bounded
+// local-search refinement. Both phases are deterministic functions of the
+// canonical Input — the thread visiting order is a seeded Fisher-Yates
+// shuffle of the canonical unit list, every tie breaks on the lowest core
+// index, and refinement scans moves and swaps in a fixed order accepting
+// only strict improvements — so the same Input always yields the same
+// assignment regardless of GOMAXPROCS, shard or replay.
+
+// maxRefineSweeps bounds local search; each sweep is O(units² · perCore),
+// and convergence is typically immediate at placement-mix sizes.
+const maxRefineSweeps = 16
+
+// solve assigns every thread unit to a core, minimizing the summed pair
+// score of co-located units subject to MaxPerCore and anti-affinity.
+// It returns the per-core unit lists (workload indices, sorted) indexed
+// by global core number, plus the objective value.
+func solve(in *Input, score func(i, j int) float64) ([][]int, float64, error) {
+	nCores := in.Chips * in.Desc.CoresPerChip
+	cores := make([][]int, nCores)
+
+	// Canonical unit list: workload indices expanded by thread count, in
+	// workload (= name) order. Permuting the request's workload order
+	// cannot change it, which is what makes the solver permutation-proof.
+	var units []int
+	for i, w := range in.Workloads {
+		for k := 0; k < w.Threads; k++ {
+			units = append(units, i)
+		}
+	}
+
+	anti := make(map[pair]bool, len(in.Anti))
+	for _, p := range in.Anti {
+		anti[pair{p[0], p[1]}] = true
+	}
+	conflicts := func(w int, core []int) bool {
+		for _, u := range core {
+			a, b := w, u
+			if a > b {
+				a, b = b, a
+			}
+			if anti[pair{a, b}] {
+				return true
+			}
+		}
+		return false
+	}
+	// marginal is the objective delta of adding workload w to a core.
+	marginal := func(w int, core []int) float64 {
+		var sum float64
+		for _, u := range core {
+			sum += score(w, u)
+		}
+		return sum
+	}
+
+	// Greedy construction in a seeded order. The shuffle decorrelates the
+	// insertion order from the name order (a pure name-order greedy would
+	// systematically favour lexicographically early workloads), while
+	// staying a deterministic function of (canonical units, seed).
+	order := make([]int, len(units))
+	for i := range order {
+		order[i] = i
+	}
+	rng := xrand.New(xrand.Mix64(in.Seed ^ 0x9e3779b97f4a7c15))
+	for i := len(order) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	for _, ui := range order {
+		w := units[ui]
+		best, bestCost := -1, 0.0
+		for c := 0; c < nCores; c++ {
+			if len(cores[c]) >= in.MaxPerCore || conflicts(w, cores[c]) {
+				continue
+			}
+			cost := marginal(w, cores[c])
+			if best == -1 || cost < bestCost {
+				best, bestCost = c, cost
+			}
+		}
+		if best == -1 {
+			return nil, 0, ErrInfeasible
+		}
+		cores[best] = append(cores[best], w)
+	}
+
+	// Refinement: first relocate single units to strictly cheaper cores,
+	// then swap unit pairs across cores, until a full sweep improves
+	// nothing. Strict-improvement acceptance keeps termination and
+	// determinism trivial.
+	removeCost := func(w int, core []int, skip int) float64 {
+		var sum float64
+		for idx, u := range core {
+			if idx == skip {
+				continue
+			}
+			sum += score(w, u)
+		}
+		return sum
+	}
+	for sweep := 0; sweep < maxRefineSweeps; sweep++ {
+		improved := false
+		for c := 0; c < nCores; c++ {
+			for idx := 0; idx < len(cores[c]); idx++ {
+				w := cores[c][idx]
+				leave := removeCost(w, cores[c], idx)
+				for t := 0; t < nCores; t++ {
+					if t == c || len(cores[t]) >= in.MaxPerCore || conflicts(w, cores[t]) {
+						continue
+					}
+					if gain := leave - marginal(w, cores[t]); gain > 0 {
+						cores[c] = append(cores[c][:idx], cores[c][idx+1:]...)
+						cores[t] = append(cores[t], w)
+						improved = true
+						idx--
+						break
+					}
+				}
+			}
+		}
+		for c := 0; c < nCores; c++ {
+			for idx := 0; idx < len(cores[c]); idx++ {
+				for t := c + 1; t < nCores; t++ {
+					for jdx := 0; jdx < len(cores[t]); jdx++ {
+						a, b := cores[c][idx], cores[t][jdx]
+						if a == b {
+							continue
+						}
+						before := removeCost(a, cores[c], idx) + removeCost(b, cores[t], jdx)
+						cores[c][idx], cores[t][jdx] = b, a
+						legal := !conflicts(b, remove(cores[c], idx)) && !conflicts(a, remove(cores[t], jdx))
+						after := removeCost(b, cores[c], idx) + removeCost(a, cores[t], jdx)
+						if legal && after < before {
+							improved = true
+						} else {
+							cores[c][idx], cores[t][jdx] = a, b
+						}
+					}
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	var total float64
+	for c := range cores {
+		sort.Ints(cores[c])
+		for x := 0; x < len(cores[c]); x++ {
+			for y := x + 1; y < len(cores[c]); y++ {
+				total += score(cores[c][x], cores[c][y])
+			}
+		}
+	}
+	return cores, total, nil
+}
+
+// remove returns core without the element at idx, allocating a copy so
+// the caller's slice is untouched.
+func remove(core []int, idx int) []int {
+	out := make([]int, 0, len(core)-1)
+	out = append(out, core[:idx]...)
+	return append(out, core[idx+1:]...)
+}

@@ -199,6 +199,7 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("GET /debug/vars", rt.handleVars)
 	rt.mux.HandleFunc("POST /v1/metric", rt.handleMetric)
 	rt.mux.HandleFunc("POST /v1/analyze", rt.handleAnalyze)
+	rt.mux.HandleFunc("POST /v1/place", rt.handlePlace)
 	return rt, nil
 }
 
@@ -326,8 +327,9 @@ func (rt *Router) handleMetric(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.forward(r.Context(), w, req.Snapshot.Fingerprint(),
-		func(ctx context.Context, c *client.Client) (api.Recommendation, error) {
-			return c.Metric(ctx, req)
+		func(ctx context.Context, c *client.Client) (any, bool, error) {
+			rec, err := c.Metric(ctx, req)
+			return rec, rec.Degraded, err
 		})
 }
 
@@ -347,8 +349,33 @@ func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.forward(r.Context(), w, xrand.HashBytes(canonical),
-		func(ctx context.Context, c *client.Client) (api.Recommendation, error) {
-			return c.Analyze(ctx, req)
+		func(ctx context.Context, c *client.Client) (any, bool, error) {
+			rec, err := c.Analyze(ctx, req)
+			return rec, rec.Degraded, err
+		})
+}
+
+// handlePlace routes POST /v1/place by the hash of the canonical
+// (re-marshalled) request. The shard re-canonicalizes the resolved input
+// for its own cache key, so two routers (or one router and a direct
+// client) hashing the same semantic request agree on the owning shard and
+// the shard's flight group coalesces them — extending the 1-shard ≡
+// N-shard byte-identity to placement.
+func (rt *Router) handlePlace(w http.ResponseWriter, r *http.Request) {
+	var req api.PlaceRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad place request: %v", err)
+		return
+	}
+	canonical, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "canonicalising request: %v", err)
+		return
+	}
+	rt.forward(r.Context(), w, xrand.HashBytes(canonical),
+		func(ctx context.Context, c *client.Client) (any, bool, error) {
+			resp, err := c.Place(ctx, req)
+			return resp, resp.Degraded, err
 		})
 }
 
@@ -372,7 +399,7 @@ func fallbackEligible(err error) bool {
 // resort), and walks the candidates until one answers. Shard failures
 // update the passive-health view so subsequent requests rebalance onto the
 // surviving replicas immediately.
-func (rt *Router) forward(ctx context.Context, w http.ResponseWriter, key uint64, call func(ctx context.Context, c *client.Client) (api.Recommendation, error)) {
+func (rt *Router) forward(ctx context.Context, w http.ResponseWriter, key uint64, call func(ctx context.Context, c *client.Client) (any, bool, error)) {
 	if err := rt.cfg.Faults.Inject(ctx, fault.OpRoute); err != nil {
 		rt.met.unroutable.Add(1)
 		writeError(w, http.StatusServiceUnavailable, api.CodeNoShards, "routing failed: %v", err)
@@ -403,16 +430,16 @@ func (rt *Router) forward(ctx context.Context, w http.ResponseWriter, key uint64
 			lastErr = err
 			continue
 		}
-		rec, err := call(ctx, sh.cli)
+		body, degraded, err := call(ctx, sh.cli)
 		if err == nil {
 			sh.forwarded.Add(1)
 			if sh.markUp(rt.now()) {
 				rt.met.recoveries.Add(1)
 			}
-			if rec.Degraded {
+			if degraded {
 				w.Header().Set("Warning", fmt.Sprintf("110 smtrouter %q", "degraded answer from shard"))
 			}
-			writeJSON(w, http.StatusOK, rec)
+			writeJSON(w, http.StatusOK, body)
 			return
 		}
 		sh.failures.Add(1)

@@ -116,6 +116,26 @@ func analyzeReq(i int) api.AnalyzeRequest {
 	}
 }
 
+// placeReq builds the i-th distinct placement request: a two-workload mix
+// with an anti-affinity rule, keyed apart by spec names and seed.
+func placeReq(i int) api.PlaceRequest {
+	spec := func(kind string, load float64) *workload.Spec {
+		return &workload.Spec{
+			Name: fmt.Sprintf("fleet-place-%s-%d", kind, i), Mix: workload.Mix{Int: 1, Load: load},
+			Chains: 1, WorkingSetKB: 4, TotalWork: 40_000, IterLen: 100,
+		}
+	}
+	return api.PlaceRequest{
+		Seed: uint64(300 + i),
+		Workloads: []api.PlaceWorkload{
+			{Name: "cpu", Spec: spec("cpu", 0), Threads: 2},
+			{Name: "mem", Spec: spec("mem", 2), Threads: 2},
+			{Name: "mix", Spec: spec("mix", 1)},
+		},
+		AntiAffinity: []api.AffinityRule{{A: "cpu", B: "mem"}},
+	}
+}
+
 // metricReq builds a /v1/metric request with a recognisable snapshot.
 func metricReq() api.MetricRequest {
 	s := counters.Snapshot{
@@ -157,6 +177,9 @@ func TestGoldenOneShardEqualsFleet(t *testing.T) {
 		check(fmt.Sprintf("analyze-%d", i), api.PathAnalyze, analyzeReq(i))
 	}
 	check("metric", api.PathMetric, metricReq())
+	for i := 0; i < 3; i++ {
+		check(fmt.Sprintf("place-%d", i), api.PathPlace, placeReq(i))
+	}
 }
 
 // TestRouterKeyAffinity pins cache affinity: identical requests land on

@@ -207,8 +207,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	if s.cfg.CoalesceWindow < 0 {
 		// Coalescing disabled: this request runs a private flight.
-		f := &flight{}
-		f.rec, f.res, f.err = s.runProbeFlight(r.Context(), key, d, chips, spec, req.Seed, th)
+		f := &flight[probeOutcome]{}
+		f.val.rec, f.val.res, f.err = s.runProbeFlight(r.Context(), key, d, chips, spec, req.Seed, th)
 		s.serveFlight(w, f, d, spec, th, stale)
 		return
 	}
@@ -231,7 +231,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.flights.Add(1)
-	f.rec, f.res, f.err = s.runProbeFlight(r.Context(), key, d, chips, spec, req.Seed, th)
+	f.val.rec, f.val.res, f.err = s.runProbeFlight(r.Context(), key, d, chips, spec, req.Seed, th)
 	s.flights.finish(key, f)
 	s.serveFlight(w, f, d, spec, th, stale)
 }
@@ -310,10 +310,10 @@ func (s *Server) runProbeFlight(ctx context.Context, key string, d *arch.Desc, c
 // applying that request's own degradation fallback (its stale cached
 // answer, if any). Breaker bookkeeping already happened exactly once in
 // runProbeFlight; here the outcome only has to be rendered.
-func (s *Server) serveFlight(w http.ResponseWriter, f *flight, d *arch.Desc, spec *workload.Spec, th float64, stale *Recommendation) {
+func (s *Server) serveFlight(w http.ResponseWriter, f *flight[probeOutcome], d *arch.Desc, spec *workload.Spec, th float64, stale *Recommendation) {
 	switch {
 	case f.err == nil:
-		writeJSON(w, http.StatusOK, f.rec)
+		writeJSON(w, http.StatusOK, f.val.rec)
 	case errors.Is(f.err, errFlightShed):
 		s.met.shed.Add(1)
 		if stale != nil {
@@ -337,7 +337,7 @@ func (s *Server) serveFlight(w http.ResponseWriter, f *flight, d *arch.Desc, spe
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, api.CodeBreakerOpen, "probe circuit breaker open, retry later")
 	default:
-		s.probeDegrade(w, f.err, f.res, d, spec, th, stale)
+		s.probeDegrade(w, f.err, f.val.res, d, spec, th, stale)
 	}
 }
 

@@ -9,10 +9,11 @@ import (
 )
 
 // Probe coalescing: the experiments Runner's singleflight idiom lifted into
-// the serving path. Every /v1/analyze request that misses the cache joins a
-// "flight" keyed by its canonical request fingerprint — the same key the
-// LRU uses. The first goroutine to create the flight is the leader: it
-// alone takes a worker slot, passes the breaker gate and runs the probe.
+// the serving path. Every /v1/analyze or /v1/place request that misses the
+// cache joins a "flight" keyed by its canonical request fingerprint — the
+// same key the LRU uses. The first goroutine to create the flight is the
+// leader: it alone takes a worker slot, passes the breaker gate and runs
+// the probe (or placement co-simulation).
 // Everyone else is a waiter: it parks on the flight (holding no worker
 // slot) and is fanned the leader's outcome when the flight closes. A burst
 // of K identical analyze calls therefore costs exactly one simulation and
@@ -41,42 +42,52 @@ var (
 	errFlightBreaker = errors.New("server: probe circuit breaker open")
 )
 
-// flight is one in-flight probe computation. The leader fills rec/res/err
-// and then closes done; waiters read the fields only after done is closed.
-type flight struct {
+// probeOutcome is the payload of an analyze flight: the rendered
+// recommendation plus the raw probe result the degradation ladder may
+// salvage a partial answer from.
+type probeOutcome struct {
+	rec api.Recommendation
+	res controller.ProbeResult
+}
+
+// flight is one in-flight computation. The leader fills val/err and then
+// closes done; waiters read the fields only after done is closed. The
+// payload is generic so analyze flights (probeOutcome) and placement
+// flights (api.PlaceResponse) share one coalescing mechanism — and one
+// determinism contract.
+type flight[T any] struct {
 	done chan struct{}
-	rec  api.Recommendation
-	res  controller.ProbeResult
+	val  T
 	err  error
 }
 
-// flightGroup tracks the in-flight probe per fingerprint key.
-type flightGroup struct {
+// flightGroup tracks the in-flight computation per fingerprint key.
+type flightGroup[T any] struct {
 	mu      sync.Mutex
-	flights map[string]*flight
+	flights map[string]*flight[T]
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{flights: make(map[string]*flight)}
+func newFlightGroup[T any]() *flightGroup[T] {
+	return &flightGroup[T]{flights: make(map[string]*flight[T])}
 }
 
 // join returns the flight for key, creating it when none is in flight.
 // The second result reports leadership: the caller that created the flight
 // must eventually call finish exactly once.
-func (g *flightGroup) join(key string) (*flight, bool) {
+func (g *flightGroup[T]) join(key string) (*flight[T], bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if f, ok := g.flights[key]; ok {
 		return f, false
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight[T]{done: make(chan struct{})}
 	g.flights[key] = f
 	return f, true
 }
 
 // finish publishes the leader's outcome (already stored in f) to every
 // waiter and retires the flight, so the next miss for key starts fresh.
-func (g *flightGroup) finish(key string, f *flight) {
+func (g *flightGroup[T]) finish(key string, f *flight[T]) {
 	g.mu.Lock()
 	delete(g.flights, key)
 	g.mu.Unlock()
@@ -84,7 +95,7 @@ func (g *flightGroup) finish(key string, f *flight) {
 }
 
 // inFlight reports the number of open flights, for /debug/vars.
-func (g *flightGroup) inFlight() int {
+func (g *flightGroup[T]) inFlight() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return len(g.flights)

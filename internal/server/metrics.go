@@ -44,6 +44,15 @@ type metrics struct {
 	batches atomic.Uint64
 	batched atomic.Uint64
 
+	// Placement counters: placements counts co-simulation passes actually
+	// launched for /v1/place (flight leaders that reached the engine),
+	// placeCoalesced the placement requests that attached to another
+	// request's flight, placePairs the pair co-runs scored across all
+	// successful passes.
+	placements     atomic.Uint64
+	placeCoalesced atomic.Uint64
+	placePairs     atomic.Uint64
+
 	latency *report.LatencyHistogram
 }
 
@@ -102,6 +111,11 @@ func (s *Server) vars() map[string]any {
 		"batches_total":           s.met.batches.Load(),
 		"batched_probes_total":    s.met.batched.Load(),
 		"max_batch":               s.cfg.MaxBatch,
+
+		"placements_total":        s.met.placements.Load(),
+		"place_coalesced_total":   s.met.placeCoalesced.Load(),
+		"place_pairs_total":       s.met.placePairs.Load(),
+		"place_flights_in_flight": s.placeFlights.inFlight(),
 
 		"breaker_state":        s.brk.stateName(),
 		"breaker_opens_total":  s.brk.opens.Load(),

@@ -8,6 +8,8 @@
 //     itself (the PMU-sampling path of an online optimizer);
 //   - POST /v1/analyze  — probe a described workload on the simulated
 //     machine at the maximum SMT level and recommend a level for it;
+//   - POST /v1/place    — co-simulate a workload mix pairwise and assign
+//     every thread to a core (internal/placement);
 //   - GET  /healthz     — liveness/readiness (503 while draining);
 //   - GET  /debug/vars  — expvar-style metrics document.
 //
@@ -38,6 +40,7 @@ import (
 	"repro/internal/controller"
 	"repro/internal/cpu"
 	"repro/internal/fault"
+	"repro/internal/placement"
 	"repro/internal/workload"
 )
 
@@ -172,24 +175,30 @@ func (c Config) validate() error {
 // probeFunc runs one analyze probe; swapped by tests to control timing.
 type probeFunc func(ctx context.Context, d *arch.Desc, chips int, spec *workload.Spec, seed uint64) (controller.ProbeResult, error)
 
+// placeFunc runs one placement co-simulation; swapped by tests to control
+// timing and failure modes.
+type placeFunc func(ctx context.Context, in *placement.Input) (api.PlaceResponse, error)
+
 // Server is the advisor service. Build one with New, mount Handler on an
 // http.Server, and call BeginDrain before http.Server.Shutdown.
 type Server struct {
-	cfg         Config
-	defaultArch *arch.Desc
-	lim         *limiter
-	cache       *lruCache
-	brk         *breaker
-	met         *metrics
-	mux         *http.ServeMux
-	flights     *flightGroup
-	probe       probeFunc
-	batch       *batcher // nil unless MaxBatch >= 2
-	probeBatch  probeBatchFunc
-	pool        *cpu.Pool
-	progs       *workload.Cache
-	draining    atomic.Bool
-	logMu       sync.Mutex
+	cfg          Config
+	defaultArch  *arch.Desc
+	lim          *limiter
+	cache        *lruCache
+	brk          *breaker
+	met          *metrics
+	mux          *http.ServeMux
+	flights      *flightGroup[probeOutcome]
+	placeFlights *flightGroup[api.PlaceResponse]
+	probe        probeFunc
+	place        placeFunc
+	batch        *batcher // nil unless MaxBatch >= 2
+	probeBatch   probeBatchFunc
+	pool         *cpu.Pool
+	progs        *workload.Cache
+	draining     atomic.Bool
+	logMu        sync.Mutex
 }
 
 // New builds the service from a validated configuration.
@@ -203,13 +212,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:         cfg,
-		defaultArch: d,
-		lim:         newLimiter(cfg.Workers, cfg.QueueDepth),
-		cache:       newLRUCache(cfg.CacheSize),
-		brk:         newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		met:         newMetrics(),
-		flights:     newFlightGroup(),
+		cfg:          cfg,
+		defaultArch:  d,
+		lim:          newLimiter(cfg.Workers, cfg.QueueDepth),
+		cache:        newLRUCache(cfg.CacheSize),
+		brk:          newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		met:          newMetrics(),
+		flights:      newFlightGroup[probeOutcome](),
+		placeFlights: newFlightGroup[api.PlaceResponse](),
 		// At most Workers probes run at once, so Workers machines per
 		// (arch, chips) key covers the steady state.
 		pool: cpu.NewPool(cfg.Workers),
@@ -236,11 +246,22 @@ func New(cfg Config) (*Server, error) {
 	s.probeBatch = func(ctx context.Context, d *arch.Desc, chips int, items []controller.BatchItem) ([]controller.BatchResult, error) {
 		return prober.ProbeBatch(ctx, d, chips, items)
 	}
+	// The placement engine shares the probe path's pooled machines and
+	// compiled-program cache; faults injected on the probe op hit it too,
+	// so the chaos schedule exercises both endpoints.
+	engine := &placement.Engine{Pool: s.pool, Cache: s.progs}
+	s.place = func(ctx context.Context, in *placement.Input) (api.PlaceResponse, error) {
+		if err := cfg.Faults.Inject(ctx, fault.OpProbe); err != nil {
+			return api.PlaceResponse{}, err
+		}
+		return engine.Place(ctx, in)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	s.mux.HandleFunc("POST /v1/metric", s.handleMetric)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
 	return s, nil
 }
 

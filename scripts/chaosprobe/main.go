@@ -8,6 +8,10 @@
 // Usage:
 //
 //	chaosprobe -url http://127.0.0.1:18701 -clients 16 -requests 4
+//	chaosprobe -url http://127.0.0.1:18712 -clients 16 -requests 25 -place 4
+//
+// With -place N each client additionally sends N /v1/place requests from
+// a golden placement set, held to the same answered/degraded contract.
 package main
 
 import (
@@ -32,11 +36,12 @@ func main() {
 		keys     = flag.Int("keys", 8, "distinct analyze requests in the golden set")
 		seed     = flag.Uint64("seed", 1, "base seed for client backoff jitter")
 		minOK    = flag.Float64("min-answered", 0.99, "minimum answered (fresh or degraded) fraction")
+		place    = flag.Int("place", 0, "placement (/v1/place) requests per client, on top of -requests")
 		settle   = flag.Duration("settle", 100*time.Millisecond, "pause after prewarm so cached answers outlive the server's cache TTL and revalidation probes meet the injected faults")
 		timeout  = flag.Duration("timeout", 60*time.Second, "overall budget")
 	)
 	flag.Parse()
-	if err := run(*baseURL, *clients, *requests, *keys, *seed, *minOK, *settle, *timeout); err != nil {
+	if err := run(*baseURL, *clients, *requests, *keys, *seed, *minOK, *place, *settle, *timeout); err != nil {
 		fmt.Fprintf(os.Stderr, "chaosprobe: %v\n", err)
 		os.Exit(1)
 	}
@@ -54,9 +59,33 @@ func chaosReq(i int) api.AnalyzeRequest {
 	}
 }
 
+// placeReq builds the i-th golden placement request: a tiny two-workload
+// mix whose pair co-runs complete well inside any sane request budget.
+func placeReq(i int) api.PlaceRequest {
+	return api.PlaceRequest{
+		Workloads: []api.PlaceWorkload{
+			{
+				Name: fmt.Sprintf("chaos-cpu-%d", i), Threads: 2,
+				Spec: &workload.Spec{
+					Name: fmt.Sprintf("chaos-cpu-%d", i), Mix: workload.Mix{Int: 1},
+					Chains: 1, WorkingSetKB: 1, TotalWork: 50_000, IterLen: 100,
+				},
+			},
+			{
+				Name: fmt.Sprintf("chaos-mem-%d", i),
+				Spec: &workload.Spec{
+					Name: fmt.Sprintf("chaos-mem-%d", i), Mix: workload.Mix{Load: 1, Int: 1},
+					Chains: 1, WorkingSetKB: 64, TotalWork: 50_000, IterLen: 100,
+				},
+			},
+		},
+		Seed: uint64(200 + i),
+	}
+}
+
 // run owns the probe's lifetime so main can os.Exit without skipping
 // defers.
-func run(baseURL string, clients, requests, keys int, seed uint64, minOK float64, settle, timeout time.Duration) error {
+func run(baseURL string, clients, requests, keys int, seed uint64, minOK float64, place int, settle, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 
@@ -72,6 +101,13 @@ func run(baseURL string, clients, requests, keys int, seed uint64, minOK float64
 			return fmt.Errorf("prewarm key %d: %w", i, err)
 		}
 	}
+	if place > 0 {
+		for i := 0; i < keys; i++ {
+			if _, err := warm.Place(ctx, placeReq(i)); err != nil {
+				return fmt.Errorf("prewarm place key %d: %w", i, err)
+			}
+		}
+	}
 	time.Sleep(settle)
 
 	type result struct {
@@ -79,7 +115,7 @@ func run(baseURL string, clients, requests, keys int, seed uint64, minOK float64
 		degraded bool
 		warning  string
 	}
-	results := make(chan result, clients*requests)
+	results := make(chan result, clients*(requests+place))
 	hist := report.NewLatencyHistogram()
 	var wg sync.WaitGroup
 	for i := 0; i < clients; i++ {
@@ -103,6 +139,12 @@ func run(baseURL string, clients, requests, keys int, seed uint64, minOK float64
 				rec, err := c.Analyze(ctx, chaosReq((i*requests+j)%keys))
 				hist.Observe(time.Since(start))
 				results <- result{err: err, degraded: rec.Degraded, warning: rec.Warning}
+			}
+			for j := 0; j < place; j++ {
+				start := time.Now()
+				resp, err := c.Place(ctx, placeReq((i*place+j)%keys))
+				hist.Observe(time.Since(start))
+				results <- result{err: err, degraded: resp.Degraded, warning: resp.Warning}
 			}
 		}(i)
 	}

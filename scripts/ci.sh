@@ -147,8 +147,10 @@ stage_fleet() {
 	done
 	# Burst 1 through the router with a SIGKILL of shard 0 landing mid-run:
 	# >= 99% of requests must still be answered (degraded answers marked),
-	# which is the PR 5 chaos gate lifted to fleet scope.
-	"$dir/chaosprobe" -url http://127.0.0.1:18712 -clients 16 -requests 25 &
+	# which is the PR 5 chaos gate lifted to fleet scope. The burst mixes
+	# /v1/analyze and /v1/place traffic so placement forwarding rides the
+	# same replica-fallback contract.
+	"$dir/chaosprobe" -url http://127.0.0.1:18712 -clients 16 -requests 25 -place 4 &
 	probe=$!
 	sleep 0.3
 	kill -9 "$shard0" 2>/dev/null || true
@@ -158,7 +160,7 @@ stage_fleet() {
 	fi
 	# Burst 2 entirely after the loss: the surviving replica must answer
 	# everything once the router has rebalanced.
-	if ! "$dir/chaosprobe" -url http://127.0.0.1:18712 -clients 16 -requests 8; then
+	if ! "$dir/chaosprobe" -url http://127.0.0.1:18712 -clients 16 -requests 8 -place 2; then
 		fleet_down
 		fail "fleet chaos probe failed after shard loss (logs: $artdir/fleet-*.log)"
 	fi
@@ -177,7 +179,7 @@ stage_race() {
 	step "race detector (concurrent packages)"
 	go test -race -count=1 ./internal/experiments ./internal/cpu ./internal/sched \
 		./internal/server ./internal/router ./internal/report ./internal/fault \
-		./internal/controller ./internal/workload ./client
+		./internal/controller ./internal/workload ./internal/placement ./client
 	# Chip-parallel determinism, explicitly: batched simulation must be
 	# bit-identical to solo runs at any GOMAXPROCS, with the race detector
 	# watching the per-group domain isolation.
